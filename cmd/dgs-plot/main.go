@@ -1,0 +1,98 @@
+// Command dgs-plot converts a training-curve CSV (as produced by
+// dgs-train -csv or stats.WriteCSV) into an SVG line chart.
+//
+//	dgs-train -method dgs -csv run.csv
+//	dgs-plot -in run.csv -out run.svg -title "DGS on CIFAR-like"
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"dgs/internal/stats"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input CSV path (default stdin)")
+		out    = flag.String("out", "", "output SVG path (default stdout)")
+		title  = flag.String("title", "", "chart title")
+		xlabel = flag.String("xlabel", "epoch", "x axis label")
+		ylabel = flag.String("ylabel", "", "y axis label")
+		width  = flag.Int("width", 640, "image width")
+		height = flag.Int("height", 400, "image height")
+		logy   = flag.Bool("logy", false, "log-scale y axis")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		fatalIf(err)
+		defer f.Close()
+		r = f
+	}
+	series, err := readCSV(r)
+	fatalIf(err)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatalIf(err)
+		defer f.Close()
+		w = f
+	}
+	fatalIf(stats.WriteSVG(w, stats.SVGOptions{
+		Width: *width, Height: *height,
+		Title: *title, XLabel: *xlabel, YLabel: *ylabel, LogY: *logy,
+	}, series...))
+}
+
+// readCSV parses "x,name1,name2,..." rows into one series per column;
+// empty cells are skipped.
+func readCSV(r io.Reader) ([]*stats.Series, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dgs-plot: parse csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("dgs-plot: csv needs a header and at least one row")
+	}
+	header := rows[0]
+	if len(header) < 2 {
+		return nil, fmt.Errorf("dgs-plot: csv needs an x column and at least one series")
+	}
+	series := make([]*stats.Series, len(header)-1)
+	for i := range series {
+		series[i] = stats.NewSeries(header[i+1])
+	}
+	for rowIdx, row := range rows[1:] {
+		x, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dgs-plot: row %d: bad x %q", rowIdx+2, row[0])
+		}
+		for c := 1; c < len(row) && c < len(header); c++ {
+			if row[c] == "" {
+				continue
+			}
+			y, err := strconv.ParseFloat(row[c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dgs-plot: row %d col %d: bad value %q", rowIdx+2, c, row[c])
+			}
+			series[c-1].Add(x, y)
+		}
+	}
+	return series, nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dgs-plot:", err)
+		os.Exit(1)
+	}
+}

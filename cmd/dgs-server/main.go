@@ -1,0 +1,80 @@
+// Command dgs-server runs a standalone DGS parameter server over TCP.
+// Workers (cmd/dgs-worker) connect to it with matching model/dataset flags
+// so the layer geometry agrees.
+//
+// Example (three terminals):
+//
+//	dgs-server -addr 127.0.0.1:7000 -workers 2
+//	dgs-worker -addr 127.0.0.1:7000 -id 0 -workers 2
+//	dgs-worker -addr 127.0.0.1:7000 -id 1 -workers 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dgs/internal/nn"
+	"dgs/internal/ps"
+	"dgs/internal/tensor"
+	"dgs/internal/trainer"
+	"dgs/internal/transport"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7000", "listen address")
+		workers   = flag.Int("workers", 4, "number of workers that will attach")
+		classes   = flag.Int("classes", 10, "model output classes (must match workers)")
+		inC       = flag.Int("inc", 3, "input channels")
+		inHW      = flag.Int("hw", 16, "input spatial size")
+		secondary = flag.Bool("secondary", false, "enable downward secondary compression")
+		ratio     = flag.Float64("ratio", 0.01, "secondary compression keep ratio")
+		denseDown = flag.Bool("dense-down", false, "ship the whole model downward (ASGD mode)")
+		statEvery = flag.Duration("stats", 10*time.Second, "stats print interval")
+	)
+	flag.Parse()
+
+	model := nn.NewResNetS(tensor.NewRNG(1), nn.ResNetSConfig{
+		InC: *inC, H: *inHW, W: *inHW,
+		StageChannels: []int{8, 16, 32}, Blocks: 1, Classes: *classes,
+	})
+	server := ps.NewServer(ps.Config{
+		LayerSizes:     model.LayerSizes(),
+		Workers:        *workers,
+		Secondary:      *secondary,
+		SecondaryRatio: *ratio,
+		DenseDownward:  *denseDown,
+	})
+	srv, err := transport.ListenTCP(*addr, trainer.Handler(server))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dgs-server:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("dgs-server: listening on %s (%d params, %d workers, secondary=%v)\n",
+		srv.Addr(), model.NumParams(), *workers, *secondary)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(*statEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			st := server.Stats()
+			mean := 0.0
+			if st.Pushes > 0 {
+				mean = float64(st.StalenessSum) / float64(st.Pushes)
+			}
+			fmt.Printf("dgs-server: pushes=%d staleness(mean=%.2f max=%d) traffic(up=%dKB down=%dKB)\n",
+				st.Pushes, mean, st.MaxStaleness, srv.Traffic.Up()/1000, srv.Traffic.Down()/1000)
+		case <-sig:
+			fmt.Println("dgs-server: shutting down")
+			return
+		}
+	}
+}

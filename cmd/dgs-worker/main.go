@@ -1,0 +1,91 @@
+// Command dgs-worker runs one training worker against a standalone
+// dgs-server. Model and dataset flags must match the server's geometry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dgs/internal/data"
+	"dgs/internal/nn"
+	"dgs/internal/tensor"
+	"dgs/internal/trainer"
+	"dgs/internal/transport"
+)
+
+func parseMethod(s string) (trainer.Method, error) {
+	switch strings.ToLower(s) {
+	case "msgd":
+		return trainer.MSGD, nil
+	case "asgd":
+		return trainer.ASGD, nil
+	case "gd", "gd-async":
+		return trainer.GDAsync, nil
+	case "dgc", "dgc-async":
+		return trainer.DGCAsync, nil
+	case "dgs":
+		return trainer.DGS, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7000", "server address")
+		id       = flag.Int("id", 0, "this worker's id (0..workers-1)")
+		workers  = flag.Int("workers", 4, "total worker count (must match server)")
+		method   = flag.String("method", "dgs", "msgd|asgd|gd|dgc|dgs")
+		classes  = flag.Int("classes", 10, "model classes (must match server)")
+		inC      = flag.Int("inc", 3, "input channels")
+		inHW     = flag.Int("hw", 16, "input spatial size")
+		batch    = flag.Int("batch", 8, "batch size")
+		epochs   = flag.Int("epochs", 6, "epochs (total across workers)")
+		lr       = flag.Float64("lr", 0.1, "learning rate")
+		momentum = flag.Float64("momentum", 0.7, "momentum m")
+		keep     = flag.Float64("keep", 0.01, "Top-k keep ratio")
+		seed     = flag.Uint64("seed", 1, "seed (must match other workers for identical θ0)")
+	)
+	flag.Parse()
+
+	m, err := parseMethod(*method)
+	fatalIf(err)
+
+	dcfg := data.CIFARLike(*seed)
+	dcfg.C, dcfg.H, dcfg.W = *inC, *inHW, *inHW
+	dcfg.Classes = *classes
+	ds := data.NewSyntheticImages(dcfg)
+
+	mcfg := nn.ResNetSConfig{
+		InC: *inC, H: *inHW, W: *inHW,
+		StageChannels: []int{8, 16, 32}, Blocks: 1, Classes: *classes,
+	}
+	cfg := trainer.Config{
+		Method: m, Workers: *workers, BatchSize: *batch, Epochs: *epochs,
+		LR: float32(*lr), LRDecayAt: []int{*epochs * 6 / 10, *epochs * 8 / 10},
+		Momentum: float32(*momentum), KeepRatio: *keep,
+		Seed: *seed, Dataset: ds,
+		BuildModel: func(rng *tensor.RNG) *nn.Model { return nn.NewResNetS(rng, mcfg) },
+		EvalLimit:  512,
+	}
+
+	cli, err := transport.DialTCP(*addr)
+	fatalIf(err)
+	defer cli.Close()
+
+	fmt.Printf("dgs-worker %d: connected to %s, method=%s\n", *id, *addr, m)
+	res, err := trainer.RunWorkerLoop(cfg, *id, cli)
+	fatalIf(err)
+	fmt.Printf("dgs-worker %d: done, %d iterations, final loss %.4f\n", *id, res.Iterations, res.Loss.Last().Y)
+	if *id == 0 {
+		fmt.Printf("dgs-worker 0: final top-1 accuracy %.2f%%\n", 100*res.FinalAccuracy)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dgs-worker:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+// Package collective implements the sparse aggregation collectives the
+// paper's §3.1 discusses for decentralized synchronous training: sparse
+// updates from N nodes must be combined even though each carries irregular
+// COO indices (the problem SparCML addresses with AllGather). The package
+// provides the k-way sparse merge plus traffic accounting for the two
+// classic realisations — sparse AllGather and dense ring AllReduce — so
+// experiments can compare their costs against the PS path.
+package collective
+
+import (
+	"sort"
+
+	"dgs/internal/sparse"
+)
+
+// Merge sums sparse updates coordinate-wise: the result contains the union
+// of indices per layer with added values (exact zeros produced by
+// cancellation are kept, matching a dense sum). Inputs are not modified.
+func Merge(updates ...*sparse.Update) sparse.Update {
+	// Group chunks by layer.
+	byLayer := map[int][]*sparse.Chunk{}
+	var layers []int
+	for _, u := range updates {
+		if u == nil {
+			continue
+		}
+		for i := range u.Chunks {
+			c := &u.Chunks[i]
+			if len(byLayer[c.Layer]) == 0 {
+				layers = append(layers, c.Layer)
+			}
+			byLayer[c.Layer] = append(byLayer[c.Layer], c)
+		}
+	}
+	sort.Ints(layers)
+	var out sparse.Update
+	for _, layer := range layers {
+		out.Chunks = append(out.Chunks, mergeChunks(layer, byLayer[layer]))
+	}
+	return out
+}
+
+// mergeChunks k-way merges same-layer chunks by ascending index.
+func mergeChunks(layer int, chunks []*sparse.Chunk) sparse.Chunk {
+	// cursor per chunk
+	cur := make([]int, len(chunks))
+	out := sparse.Chunk{Layer: layer}
+	for {
+		// Find the smallest current index across chunks.
+		best := int32(-1)
+		for i, c := range chunks {
+			if cur[i] >= len(c.Idx) {
+				continue
+			}
+			if best == -1 || c.Idx[cur[i]] < best {
+				best = c.Idx[cur[i]]
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		var sum float32
+		for i, c := range chunks {
+			if cur[i] < len(c.Idx) && c.Idx[cur[i]] == best {
+				sum += c.Val[cur[i]]
+				cur[i]++
+			}
+		}
+		out.Idx = append(out.Idx, best)
+		out.Val = append(out.Val, sum)
+	}
+}
+
+// AllGatherBytes returns the per-node traffic of a sparse AllGather among n
+// nodes where each node contributes a message of msgBytes: every node sends
+// its message to n−1 peers and receives n−1 messages (counted once each
+// direction here as total bytes moved per node).
+func AllGatherBytes(n int, msgBytes int) (sendBytes, recvBytes int) {
+	if n < 2 {
+		return 0, 0
+	}
+	return (n - 1) * msgBytes, (n - 1) * msgBytes
+}
+
+// RingAllReduceDenseBytes returns the per-node send traffic of a dense ring
+// all-reduce over a model of modelBytes among n nodes: the classic
+// 2·(n−1)/n·modelBytes.
+func RingAllReduceDenseBytes(n int, modelBytes int) int {
+	if n < 2 {
+		return 0
+	}
+	return 2 * (n - 1) * modelBytes / n
+}
+
+// SparseBeatsDense reports whether a sparse AllGather moves less data per
+// node than a dense ring all-reduce, given the sparse message size: the
+// crossover the paper's related work discusses (sparsity wins until the
+// node count makes the gathered union approach dense).
+func SparseBeatsDense(n, sparseMsgBytes, modelBytes int) bool {
+	send, _ := AllGatherBytes(n, sparseMsgBytes)
+	return send < RingAllReduceDenseBytes(n, modelBytes)
+}

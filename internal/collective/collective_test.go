@@ -1,0 +1,114 @@
+package collective
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dgs/internal/sparse"
+	"dgs/internal/tensor"
+)
+
+func TestMergeSimple(t *testing.T) {
+	a := sparse.Update{Chunks: []sparse.Chunk{{Layer: 0, Idx: []int32{1, 3}, Val: []float32{1, 2}}}}
+	b := sparse.Update{Chunks: []sparse.Chunk{{Layer: 0, Idx: []int32{3, 5}, Val: []float32{10, 20}}}}
+	m := Merge(&a, &b)
+	if len(m.Chunks) != 1 {
+		t.Fatalf("chunks %d", len(m.Chunks))
+	}
+	c := m.Chunks[0]
+	wantIdx := []int32{1, 3, 5}
+	wantVal := []float32{1, 12, 20}
+	if len(c.Idx) != 3 {
+		t.Fatalf("merged nnz %d", len(c.Idx))
+	}
+	for i := range wantIdx {
+		if c.Idx[i] != wantIdx[i] || c.Val[i] != wantVal[i] {
+			t.Fatalf("merged[%d] = (%d,%v), want (%d,%v)", i, c.Idx[i], c.Val[i], wantIdx[i], wantVal[i])
+		}
+	}
+}
+
+func TestMergeMultipleLayers(t *testing.T) {
+	a := sparse.Update{Chunks: []sparse.Chunk{
+		{Layer: 2, Idx: []int32{0}, Val: []float32{1}},
+		{Layer: 0, Idx: []int32{0}, Val: []float32{2}},
+	}}
+	m := Merge(&a)
+	if len(m.Chunks) != 2 || m.Chunks[0].Layer != 0 || m.Chunks[1].Layer != 2 {
+		t.Fatalf("layers must come out sorted: %+v", m.Chunks)
+	}
+	if err := m.Validate(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEmptyAndNil(t *testing.T) {
+	m := Merge(nil, &sparse.Update{})
+	if len(m.Chunks) != 0 {
+		t.Fatal("merging nothing must be empty")
+	}
+}
+
+// Property: merging sparse views equals the dense elementwise sum.
+func TestMergeMatchesDenseSum(t *testing.T) {
+	f := func(seed int64, nodesRaw uint8) bool {
+		rng := tensor.NewRNG(uint64(seed))
+		nodes := int(nodesRaw)%5 + 2
+		const dim = 64
+		dense := make([]float32, dim)
+		var ups []*sparse.Update
+		for k := 0; k < nodes; k++ {
+			full := make([]float32, dim)
+			rng.FillNormal(full, 0, 1)
+			u := sparse.SparsifyLayers([][]float32{full}, 0.2)
+			for ci := range u.Chunks {
+				sparse.Scatter(&u.Chunks[ci], dense, 1)
+			}
+			ups = append(ups, &u)
+		}
+		merged := Merge(ups...)
+		got := make([]float32, dim)
+		for ci := range merged.Chunks {
+			sparse.Scatter(&merged.Chunks[ci], got, 1)
+		}
+		for i := range dense {
+			if diff := dense[i] - got[i]; diff > 1e-5 || diff < -1e-5 {
+				return false
+			}
+		}
+		return merged.Validate([]int{dim}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	send, recv := AllGatherBytes(4, 100)
+	if send != 300 || recv != 300 {
+		t.Fatalf("allgather traffic %d/%d, want 300/300", send, recv)
+	}
+	if s, _ := AllGatherBytes(1, 100); s != 0 {
+		t.Fatal("single node moves nothing")
+	}
+	if got := RingAllReduceDenseBytes(4, 1000); got != 1500 {
+		t.Fatalf("ring allreduce %d, want 2·3/4·1000 = 1500", got)
+	}
+	if RingAllReduceDenseBytes(1, 1000) != 0 {
+		t.Fatal("single node ring is free")
+	}
+}
+
+func TestSparseBeatsDenseCrossover(t *testing.T) {
+	const model = 4_000_000  // 1M params dense
+	sparseMsg := model / 100 // top 1%
+	// Few nodes: sparse wins big.
+	if !SparseBeatsDense(8, sparseMsg, model) {
+		t.Fatal("top-1% should beat dense at 8 nodes")
+	}
+	// Very many nodes: gathered sparse traffic approaches/overtakes dense
+	// ring (which is ~constant per node).
+	if SparseBeatsDense(400, sparseMsg, model) {
+		t.Fatal("at 400 nodes the sparse allgather should have crossed over")
+	}
+}

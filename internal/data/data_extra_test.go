@@ -1,0 +1,92 @@
+package data
+
+import (
+	"testing"
+
+	"dgs/internal/tensor"
+)
+
+func TestImageNetLikeGeometry(t *testing.T) {
+	cfg := ImageNetLike(1)
+	if cfg.Classes != 100 || cfg.H != 24 || cfg.W != 24 {
+		t.Fatalf("ImageNetLike config %+v", cfg)
+	}
+	if cfg.Train <= CIFARLike(1).Train {
+		t.Fatal("ImageNet-like must have more training data than CIFAR-like")
+	}
+	ds := NewSyntheticImages(cfg)
+	if ds.InputLen() != 3*24*24 {
+		t.Fatalf("input len %d", ds.InputLen())
+	}
+}
+
+func TestSeedChangesPrototypes(t *testing.T) {
+	a := NewSyntheticImages(CIFARLike(1))
+	b := NewSyntheticImages(CIFARLike(2))
+	xa := make([]float32, a.InputLen())
+	xb := make([]float32, b.InputLen())
+	a.Example(true, 0, xa)
+	b.Example(true, 0, xb)
+	same := true
+	for i := range xa {
+		if xa[i] != xb[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must generate different datasets")
+	}
+}
+
+func TestLoaderRejectsBadBatch(t *testing.T) {
+	ds := NewGaussianMixture(4, 2, 10, 10, 0.1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for batch size 0")
+		}
+	}()
+	NewLoader(ds, 0, 1, true)
+}
+
+func TestLoaderTestSplit(t *testing.T) {
+	ds := NewGaussianMixture(4, 2, 100, 10, 0.1, 1)
+	l := NewLoader(ds, 4, 1, false)
+	b := l.Next()
+	if len(b.Labels) != 4 {
+		t.Fatalf("test-split batch wrong: %d labels", len(b.Labels))
+	}
+}
+
+func TestEvaluateEmptyTestSplit(t *testing.T) {
+	ds := NewGaussianMixture(4, 2, 10, 0, 0.1, 1)
+	acc := Evaluate(ds, 4, 0, func(x *tensor.Tensor) []int {
+		t.Fatal("predict must not be called with no test data")
+		return nil
+	})
+	if acc != 0 {
+		t.Fatalf("empty test split accuracy %v, want 0", acc)
+	}
+}
+
+func TestEvaluatePredictCountMismatchPanics(t *testing.T) {
+	ds := NewGaussianMixture(4, 2, 10, 8, 0.1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong prediction count")
+		}
+	}()
+	Evaluate(ds, 4, 0, func(x *tensor.Tensor) []int { return []int{0} })
+}
+
+func TestSpiralsArmsAreSeparated(t *testing.T) {
+	// With zero noise, points from different arms at the same radius have
+	// different angles: verify examples of different labels differ.
+	s := NewSpirals(3, 90, 30, 0, 5)
+	var x0, x1 [2]float32
+	s.Example(true, 0, x0[:]) // label 0
+	s.Example(true, 1, x1[:]) // label 1
+	if x0 == x1 {
+		t.Fatal("different arms produced identical points")
+	}
+}

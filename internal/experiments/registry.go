@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment at a scale.
+type Runner func(Scale) (*Report, error)
+
+// Registry maps paper artefact ids to their runners.
+var Registry = map[string]Runner{
+	"figure2":   Figure2,
+	"figure3":   Figure3,
+	"figure4":   Figure4,
+	"figure5":   Figure5,
+	"figure6":   Figure6,
+	"table2":    Table2,
+	"table3":    Table3,
+	"table4":    Table4,
+	"table5":    Table5,
+	"memory":    MemoryUsage,
+	"ablations": Ablations,
+	"syncasync": SyncAsync,
+}
+
+// IDs returns the registered experiment names, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run looks up and executes one experiment.
+func Run(id string, s Scale) (*Report, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(s)
+}

@@ -1,0 +1,175 @@
+// Package netsim is a discrete-event simulator of parameter-server
+// training time. It replaces the paper's 10 Gbps / 1 Gbps Ethernet testbed:
+// wall-clock results (Fig. 5 training-loss-vs-time, Fig. 6 speedup curves)
+// depend only on per-iteration compute time and on message sizes moving
+// through the shared server links — both of which we measure from the real
+// implementation and feed in here.
+//
+// The model: every worker loops compute → uplink transfer → server
+// processing → downlink transfer → next iteration. The server's uplink,
+// CPU, and downlink are three FIFO resources shared by all workers (the
+// classic single-PS bottleneck); each transfer costs latency + bytes/rate.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dgs/internal/tensor"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Workers is the number of concurrent workers.
+	Workers int
+	// ComputeTime is the mean seconds per forward/backward iteration.
+	ComputeTime float64
+	// ComputeJitter is the fractional uniform jitter on ComputeTime
+	// (0.1 = ±10%), modelling real GPU variance; it also breaks ties so
+	// workers do not move in lockstep.
+	ComputeJitter float64
+	// BandwidthBps is the server link bandwidth in bits per second,
+	// applied independently to the uplink and downlink directions
+	// (full-duplex Ethernet).
+	BandwidthBps float64
+	// LatencyS is the one-way network latency in seconds.
+	LatencyS float64
+	// ServerTimeS is the server processing cost per push (decode, apply,
+	// diff, encode).
+	ServerTimeS float64
+	// UpBytes and DownBytes give message sizes for a worker's i-th
+	// iteration. DownBytes receives the iteration index too, so callers
+	// can model e.g. warm-up growth. Both must be non-nil.
+	UpBytes   func(iter int) float64
+	DownBytes func(iter int) float64
+	// Iterations is the total number of pushes to simulate across all
+	// workers.
+	Iterations int
+	// Seed drives the jitter RNG.
+	Seed uint64
+}
+
+// Result summarises a simulation.
+type Result struct {
+	// TotalTime is the simulated wall-clock seconds until the last of
+	// Iterations pushes completed.
+	TotalTime float64
+	// PerWorkerIters counts completed iterations per worker.
+	PerWorkerIters []int
+	// IterDoneTimes records the completion time of every push in
+	// completion order (used to map iteration→time for loss curves).
+	IterDoneTimes []float64
+	// BusyUplink, BusyDownlink and BusyServer are the total busy seconds of
+	// each shared resource (utilisation = busy/TotalTime).
+	BusyUplink, BusyDownlink, BusyServer float64
+	// BytesUp and BytesDown total the simulated traffic.
+	BytesUp, BytesDown float64
+}
+
+// event is a worker finishing its compute phase at time t.
+type event struct {
+	t      float64
+	worker int
+	iter   int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].t < h[j].t }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Run executes the simulation.
+func Run(cfg Config) Result {
+	if cfg.Workers < 1 || cfg.Iterations < 1 {
+		panic("netsim: Workers and Iterations must be positive")
+	}
+	if cfg.UpBytes == nil || cfg.DownBytes == nil {
+		panic("netsim: UpBytes and DownBytes are required")
+	}
+	if cfg.BandwidthBps <= 0 {
+		panic(fmt.Sprintf("netsim: bandwidth %v must be positive", cfg.BandwidthBps))
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	compute := func() float64 {
+		if cfg.ComputeJitter == 0 {
+			return cfg.ComputeTime
+		}
+		j := 1 + cfg.ComputeJitter*(2*rng.Float64()-1)
+		return cfg.ComputeTime * j
+	}
+
+	res := Result{PerWorkerIters: make([]int, cfg.Workers)}
+	var h eventHeap
+	for k := 0; k < cfg.Workers; k++ {
+		heap.Push(&h, event{t: compute(), worker: k, iter: 0})
+	}
+	var upFree, downFree, srvFree float64 // resource availability times
+	done := 0
+	byteRate := cfg.BandwidthBps / 8 // bytes per second
+
+	for done < cfg.Iterations {
+		e := heap.Pop(&h).(event)
+
+		// Uplink: FIFO shared channel.
+		ub := cfg.UpBytes(e.iter)
+		upStart := max(upFree, e.t)
+		upSvc := ub / byteRate
+		upFree = upStart + upSvc
+		res.BusyUplink += upSvc
+		atServer := upFree + cfg.LatencyS
+
+		// Server CPU: serialised pushes.
+		srvStart := max(srvFree, atServer)
+		srvFree = srvStart + cfg.ServerTimeS
+		res.BusyServer += cfg.ServerTimeS
+
+		// Downlink.
+		db := cfg.DownBytes(e.iter)
+		downStart := max(downFree, srvFree)
+		downSvc := db / byteRate
+		downFree = downStart + downSvc
+		res.BusyDownlink += downSvc
+		atWorker := downFree + cfg.LatencyS
+
+		res.BytesUp += ub
+		res.BytesDown += db
+		res.PerWorkerIters[e.worker]++
+		res.IterDoneTimes = append(res.IterDoneTimes, atWorker)
+		if atWorker > res.TotalTime {
+			res.TotalTime = atWorker
+		}
+		done++
+		if done < cfg.Iterations {
+			heap.Push(&h, event{t: atWorker + compute(), worker: e.worker, iter: e.iter + 1})
+		}
+	}
+	return res
+}
+
+// Throughput returns completed iterations per simulated second.
+func (r *Result) Throughput() float64 {
+	if r.TotalTime == 0 {
+		return 0
+	}
+	return float64(len(r.IterDoneTimes)) / r.TotalTime
+}
+
+// Speedup compares a run's throughput against a communication-free single
+// worker (the paper's single-node baseline): N workers with zero
+// communication overhead would approach a speedup of N.
+func Speedup(r *Result, computeTime float64) float64 {
+	return r.Throughput() * computeTime
+}
+
+// Gbps converts gigabits/second to bits/second for Config.BandwidthBps.
+func Gbps(g float64) float64 { return g * 1e9 }
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

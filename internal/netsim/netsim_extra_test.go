@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestServerTimeSerialises(t *testing.T) {
+	// With zero-size messages and a slow server CPU, throughput is capped
+	// by 1/ServerTime regardless of worker count.
+	cfg := Config{
+		Workers: 8, ComputeTime: 1e-4,
+		BandwidthBps: Gbps(10), LatencyS: 0, ServerTimeS: 0.01,
+		UpBytes: fixed(1), DownBytes: fixed(1),
+		Iterations: 100, Seed: 1,
+	}
+	r := Run(cfg)
+	tp := r.Throughput()
+	if tp > 105 || tp < 80 {
+		t.Fatalf("throughput %v iters/s; server CPU allows ~100", tp)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	// With 20% jitter, total time for a single worker must stay within
+	// ±20% of the no-jitter total plus comm.
+	base := Config{
+		Workers: 1, ComputeTime: 0.1,
+		BandwidthBps: Gbps(10), LatencyS: 0, ServerTimeS: 0,
+		UpBytes: fixed(1), DownBytes: fixed(1),
+		Iterations: 50, Seed: 3,
+	}
+	noJitter := Run(base)
+	base.ComputeJitter = 0.2
+	withJitter := Run(base)
+	lo, hi := 0.8*noJitter.TotalTime, 1.2*noJitter.TotalTime
+	if withJitter.TotalTime < lo || withJitter.TotalTime > hi {
+		t.Fatalf("jittered total %v outside [%v,%v]", withJitter.TotalTime, lo, hi)
+	}
+}
+
+func TestAsymmetricMessageSizes(t *testing.T) {
+	// Downlink is 10x the uplink: busy time must reflect that exactly.
+	cfg := Config{
+		Workers: 2, ComputeTime: 0.01,
+		BandwidthBps: 8e6, LatencyS: 0, ServerTimeS: 0,
+		UpBytes: fixed(100), DownBytes: fixed(1000),
+		Iterations: 10, Seed: 2,
+	}
+	r := Run(cfg)
+	if math.Abs(r.BusyDownlink-10*r.BusyUplink) > 1e-9 {
+		t.Fatalf("busy down %v should be 10x busy up %v", r.BusyDownlink, r.BusyUplink)
+	}
+}
+
+func TestIterationDependentSizes(t *testing.T) {
+	// Message size growing per iteration must show up in totals.
+	cfg := Config{
+		Workers: 1, ComputeTime: 0.001,
+		BandwidthBps: Gbps(1), LatencyS: 0, ServerTimeS: 0,
+		UpBytes:    func(i int) float64 { return float64(100 * (i + 1)) },
+		DownBytes:  fixed(0),
+		Iterations: 4, Seed: 1,
+	}
+	r := Run(cfg)
+	if r.BytesUp != 100+200+300+400 {
+		t.Fatalf("iteration-dependent bytes %v, want 1000", r.BytesUp)
+	}
+}

@@ -1,0 +1,183 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func fixed(b float64) func(int) float64 { return func(int) float64 { return b } }
+
+func TestSingleWorkerAnalytic(t *testing.T) {
+	cfg := Config{
+		Workers:      1,
+		ComputeTime:  0.1,
+		BandwidthBps: 8e6, // 1e6 bytes/s
+		LatencyS:     0.01,
+		ServerTimeS:  0.005,
+		UpBytes:      fixed(1000),
+		DownBytes:    fixed(2000),
+		Iterations:   10,
+		Seed:         1,
+	}
+	r := Run(cfg)
+	// Per iteration: 0.1 compute + 0.001 up + 0.01 lat + 0.005 srv
+	//              + 0.002 down + 0.01 lat = 0.128 s
+	want := 10 * 0.128
+	if math.Abs(r.TotalTime-want) > 1e-9 {
+		t.Fatalf("TotalTime = %v, want %v", r.TotalTime, want)
+	}
+	if r.PerWorkerIters[0] != 10 {
+		t.Fatalf("iters = %d", r.PerWorkerIters[0])
+	}
+	if r.BytesUp != 10000 || r.BytesDown != 20000 {
+		t.Fatalf("bytes up=%v down=%v", r.BytesUp, r.BytesDown)
+	}
+}
+
+func TestItersConservedAndTimesMonotonic(t *testing.T) {
+	cfg := Config{
+		Workers: 5, ComputeTime: 0.01, ComputeJitter: 0.3,
+		BandwidthBps: Gbps(1), LatencyS: 1e-4, ServerTimeS: 1e-4,
+		UpBytes: fixed(5e5), DownBytes: fixed(5e5),
+		Iterations: 200, Seed: 7,
+	}
+	r := Run(cfg)
+	total := 0
+	for _, n := range r.PerWorkerIters {
+		total += n
+	}
+	if total != 200 {
+		t.Fatalf("iteration count %d, want 200", total)
+	}
+	if len(r.IterDoneTimes) != 200 {
+		t.Fatalf("done-time count %d", len(r.IterDoneTimes))
+	}
+	for i := 1; i < len(r.IterDoneTimes); i++ {
+		if r.IterDoneTimes[i] < r.IterDoneTimes[i-1] {
+			t.Fatalf("completion times must be nondecreasing at %d", i)
+		}
+	}
+}
+
+func TestBandwidthBottleneckCapsThroughput(t *testing.T) {
+	// Compute is negligible; dense 1 MB messages over 8 Mbps (1 MB/s):
+	// the downlink serialises everything to ~1 iteration/second regardless
+	// of the worker count.
+	cfg := Config{
+		Workers: 8, ComputeTime: 1e-4,
+		BandwidthBps: 8e6, LatencyS: 0,
+		UpBytes: fixed(1e6), DownBytes: fixed(1e6),
+		Iterations: 50, Seed: 2,
+	}
+	r := Run(cfg)
+	tp := r.Throughput()
+	if tp > 1.05 || tp < 0.8 {
+		t.Fatalf("throughput %v iters/s; link allows ~1", tp)
+	}
+}
+
+func TestNearLinearSpeedupWithTinyMessages(t *testing.T) {
+	// Sparse messages ~1 KB on a 10 Gbps link: communication is negligible
+	// and N workers give ~N× speedup over one communication-free worker.
+	for _, workers := range []int{1, 4, 8} {
+		cfg := Config{
+			Workers: workers, ComputeTime: 0.05, ComputeJitter: 0.05,
+			BandwidthBps: Gbps(10), LatencyS: 1e-5, ServerTimeS: 1e-5,
+			UpBytes: fixed(1000), DownBytes: fixed(1000),
+			Iterations: 40 * workers, Seed: 3,
+		}
+		r := Run(cfg)
+		sp := Speedup(&r, cfg.ComputeTime)
+		if sp < 0.85*float64(workers) || sp > 1.1*float64(workers) {
+			t.Fatalf("workers=%d speedup %v; want ≈%d", workers, sp, workers)
+		}
+	}
+}
+
+// Miniature Figure-6 shape test: at low bandwidth, dense exchange (ASGD)
+// saturates while sparse exchange (DGS) keeps scaling.
+func TestDenseSaturatesSparseScales(t *testing.T) {
+	run := func(workers int, msgBytes float64) float64 {
+		cfg := Config{
+			Workers: workers, ComputeTime: 0.05, ComputeJitter: 0.05,
+			BandwidthBps: Gbps(1), LatencyS: 1e-4, ServerTimeS: 1e-4,
+			UpBytes: fixed(msgBytes), DownBytes: fixed(msgBytes),
+			Iterations: 30 * workers, Seed: 4,
+		}
+		r := Run(cfg)
+		return Speedup(&r, cfg.ComputeTime)
+	}
+	const dense = 46e6 / 4 // ~11.5 MB: a ResNet-18-scale dense model
+	const sparseMsg = dense / 100
+	denseSp := run(16, dense)
+	sparseSp := run(16, sparseMsg)
+	if denseSp > 4 {
+		t.Fatalf("dense 16-worker speedup %v; should saturate (<4)", denseSp)
+	}
+	if sparseSp < 8 {
+		t.Fatalf("sparse 16-worker speedup %v; should keep scaling (>8)", sparseSp)
+	}
+	if sparseSp < 2*denseSp {
+		t.Fatalf("sparse (%v) should dominate dense (%v)", sparseSp, denseSp)
+	}
+}
+
+func TestUtilisationAccounting(t *testing.T) {
+	cfg := Config{
+		Workers: 2, ComputeTime: 0.01,
+		BandwidthBps: 8e6, LatencyS: 0, ServerTimeS: 0.001,
+		UpBytes: fixed(1000), DownBytes: fixed(1000),
+		Iterations: 20, Seed: 5,
+	}
+	r := Run(cfg)
+	// 20 transfers × 1000/1e6 s each direction.
+	if math.Abs(r.BusyUplink-0.02) > 1e-9 || math.Abs(r.BusyDownlink-0.02) > 1e-9 {
+		t.Fatalf("busy up=%v down=%v, want 0.02", r.BusyUplink, r.BusyDownlink)
+	}
+	if math.Abs(r.BusyServer-0.02) > 1e-9 {
+		t.Fatalf("busy server=%v, want 0.02", r.BusyServer)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{
+		Workers: 3, ComputeTime: 0.01, ComputeJitter: 0.2,
+		BandwidthBps: Gbps(1), LatencyS: 1e-4, ServerTimeS: 1e-4,
+		UpBytes: fixed(1e4), DownBytes: fixed(1e4),
+		Iterations: 100, Seed: 42,
+	}
+	a, b := Run(cfg), Run(cfg)
+	if a.TotalTime != b.TotalTime {
+		t.Fatal("same seed must reproduce the simulation")
+	}
+	cfg.Seed = 43
+	c := Run(cfg)
+	if a.TotalTime == c.TotalTime {
+		t.Fatal("different seed should change jitter outcomes")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	cases := []Config{
+		{Workers: 0, Iterations: 1, BandwidthBps: 1, UpBytes: fixed(1), DownBytes: fixed(1)},
+		{Workers: 1, Iterations: 0, BandwidthBps: 1, UpBytes: fixed(1), DownBytes: fixed(1)},
+		{Workers: 1, Iterations: 1, BandwidthBps: 0, UpBytes: fixed(1), DownBytes: fixed(1)},
+		{Workers: 1, Iterations: 1, BandwidthBps: 1},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func TestGbps(t *testing.T) {
+	if Gbps(1) != 1e9 || Gbps(10) != 1e10 {
+		t.Fatal("Gbps conversion wrong")
+	}
+}

@@ -1,0 +1,75 @@
+package nn
+
+import "dgs/internal/tensor"
+
+// ReLU applies max(0,x) elementwise.
+type ReLU struct {
+	mask []bool // which inputs were positive in the last training Forward
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward computes max(0,x).
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.New(x.Shape...)
+	if train {
+		if len(r.mask) < x.Len() {
+			r.mask = make([]bool, x.Len())
+		}
+		for i, v := range x.Data {
+			if v > 0 {
+				y.Data[i] = v
+				r.mask[i] = true
+			} else {
+				r.mask[i] = false
+			}
+		}
+	} else {
+		for i, v := range x.Data {
+			if v > 0 {
+				y.Data[i] = v
+			}
+		}
+	}
+	return y
+}
+
+// Backward zeroes gradients where the input was non-positive.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		if r.mask[i] {
+			dx.Data[i] = g
+		}
+	}
+	return dx
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Flatten reshapes (B, ...) to (B, rest). It is shape bookkeeping only.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all but the batch dimension.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.inShape = append(f.inShape[:0], x.Shape...)
+	}
+	batch := x.Dim(0)
+	return x.Reshape(batch, x.Len()/batch)
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params returns nil.
+func (f *Flatten) Params() []*Param { return nil }

@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Checkpoint format (little endian):
+//
+//	u32 magic "DGSC"
+//	u32 version (1)
+//	uvarint layer count
+//	per layer:
+//	  uvarint name length, name bytes
+//	  uvarint element count
+//	  elements × f32
+//	u32 CRC32 (IEEE) of everything before it
+//
+// Only parameter values are stored; optimizer state and BatchNorm running
+// statistics are worker-local and re-warm quickly.
+const checkpointMagic = 0x44475343 // "DGSC"
+
+const checkpointVersion = 1
+
+// SaveCheckpoint writes the model's parameters to w.
+func (m *Model) SaveCheckpoint(w io.Writer) error {
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], checkpointMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], checkpointVersion)
+	if _, err := mw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("nn: checkpoint header: %w", err)
+	}
+	var varint [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(varint[:], v)
+		_, err := mw.Write(varint[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(m.params))); err != nil {
+		return fmt.Errorf("nn: checkpoint layer count: %w", err)
+	}
+	buf := make([]byte, 0, 4096)
+	for _, p := range m.params {
+		if err := writeUvarint(uint64(len(p.Name))); err != nil {
+			return fmt.Errorf("nn: checkpoint name length: %w", err)
+		}
+		if _, err := io.WriteString(mw, p.Name); err != nil {
+			return fmt.Errorf("nn: checkpoint name: %w", err)
+		}
+		if err := writeUvarint(uint64(p.Value.Len())); err != nil {
+			return fmt.Errorf("nn: checkpoint size: %w", err)
+		}
+		buf = buf[:0]
+		for _, v := range p.Value.Data {
+			var b4 [4]byte
+			binary.LittleEndian.PutUint32(b4[:], math.Float32bits(v))
+			buf = append(buf, b4[:]...)
+		}
+		if _, err := mw.Write(buf); err != nil {
+			return fmt.Errorf("nn: checkpoint values: %w", err)
+		}
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("nn: checkpoint crc: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores parameters previously written by SaveCheckpoint.
+// The model must have the same layer names and sizes in the same order.
+func (m *Model) LoadCheckpoint(r io.Reader) error {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("nn: checkpoint read: %w", err)
+	}
+	if len(raw) < 12 {
+		return fmt.Errorf("nn: checkpoint truncated")
+	}
+	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return fmt.Errorf("nn: checkpoint corrupt (crc mismatch)")
+	}
+	if binary.LittleEndian.Uint32(body[:4]) != checkpointMagic {
+		return fmt.Errorf("nn: not a checkpoint (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(body[4:8]); v != checkpointVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", v)
+	}
+	off := 8
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(body[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("nn: checkpoint truncated at offset %d", off)
+		}
+		off += n
+		return v, nil
+	}
+	count, err := readUvarint()
+	if err != nil {
+		return err
+	}
+	if count != uint64(len(m.params)) {
+		return fmt.Errorf("nn: checkpoint has %d layers, model has %d", count, len(m.params))
+	}
+	for _, p := range m.params {
+		nameLen, err := readUvarint()
+		if err != nil {
+			return err
+		}
+		if off+int(nameLen) > len(body) {
+			return fmt.Errorf("nn: checkpoint truncated in name")
+		}
+		name := string(body[off : off+int(nameLen)])
+		off += int(nameLen)
+		if name != p.Name {
+			return fmt.Errorf("nn: checkpoint layer %q does not match model layer %q", name, p.Name)
+		}
+		n, err := readUvarint()
+		if err != nil {
+			return err
+		}
+		if n != uint64(p.Value.Len()) {
+			return fmt.Errorf("nn: layer %q has %d elements in checkpoint, %d in model", name, n, p.Value.Len())
+		}
+		if off+4*int(n) > len(body) {
+			return fmt.Errorf("nn: checkpoint truncated in layer %q", name)
+		}
+		for i := range p.Value.Data {
+			p.Value.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[off:]))
+			off += 4
+		}
+	}
+	if off != len(body) {
+		return fmt.Errorf("nn: %d trailing checkpoint bytes", len(body)-off)
+	}
+	return nil
+}

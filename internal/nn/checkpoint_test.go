@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dgs/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	m := NewResNetS(rng, DefaultResNetS(10))
+	var buf bytes.Buffer
+	if err := m.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Restore into a differently-initialised twin.
+	m2 := NewResNetS(tensor.NewRNG(99), DefaultResNetS(10))
+	if err := m2.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range m.Params() {
+		q := m2.Params()[i]
+		for j := range p.Value.Data {
+			if p.Value.Data[j] != q.Value.Data[j] {
+				t.Fatalf("layer %s element %d differs after restore", p.Name, j)
+			}
+		}
+	}
+}
+
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	m := NewMLP(rng, 4, 3, 2)
+	var buf bytes.Buffer
+	if err := m.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0xFF
+	if err := m.LoadCheckpoint(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted checkpoint must be rejected")
+	}
+}
+
+func TestCheckpointRejectsTruncation(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	m := NewMLP(rng, 4, 3, 2)
+	var buf bytes.Buffer
+	if err := m.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 5, buf.Len() / 2, buf.Len() - 1} {
+		if err := m.LoadCheckpoint(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCheckpointRejectsShapeMismatch(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	m := NewMLP(rng, 4, 3, 2)
+	var buf bytes.Buffer
+	if err := m.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := NewMLP(tensor.NewRNG(4), 4, 5, 2) // different hidden width
+	err := other.LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("shape mismatch must be rejected")
+	}
+	if !strings.Contains(err.Error(), "elements") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	m := NewMLP(rng, 4, 3, 2)
+	if err := m.LoadCheckpoint(bytes.NewReader([]byte("not a checkpoint at all....."))); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"fmt"
+
+	"dgs/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW inputs implemented as
+// im2col + GEMM. Weights are stored (outC, inC*kh*kw).
+type Conv2D struct {
+	InC, OutC           int
+	KH, KW, Stride, Pad int
+	W, B                *Param
+
+	lastX    *tensor.Tensor
+	lastCols []float32 // im2col of the last training input (per batch image, reused)
+	colsBuf  []float32
+	h, w     int // input spatial dims from the last Forward
+}
+
+// NewConv2D creates a convolution layer with Kaiming init.
+func NewConv2D(name string, inC, outC, k, stride, pad int, rng *tensor.RNG) *Conv2D {
+	c := &Conv2D{
+		InC: inC, OutC: outC,
+		KH: k, KW: k, Stride: stride, Pad: pad,
+		W: NewParam(name+".w", outC, inC*k*k),
+		B: NewParam(name+".b", outC),
+	}
+	rng.KaimingFill(c.W.Value.Data, inC*k*k)
+	return c
+}
+
+// Forward convolves x (B, InC, H, W) producing (B, OutC, OH, OW).
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D %s expects (B,%d,H,W), got %v", c.W.Name, c.InC, x.Shape))
+	}
+	batch, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOutSize(h, c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
+	krows := c.InC * c.KH * c.KW
+	cols := oh * ow
+	y := tensor.New(batch, c.OutC, oh, ow)
+
+	colSize := krows * cols
+	if train {
+		// Cache im2col per image for the weight-gradient pass.
+		if len(c.lastCols) < batch*colSize {
+			c.lastCols = make([]float32, batch*colSize)
+		}
+		c.lastX = x
+		c.h, c.w = h, w
+	} else if len(c.colsBuf) < colSize {
+		c.colsBuf = make([]float32, colSize)
+	}
+
+	for b := 0; b < batch; b++ {
+		var buf []float32
+		if train {
+			buf = c.lastCols[b*colSize : (b+1)*colSize]
+		} else {
+			buf = c.colsBuf[:colSize]
+		}
+		tensor.Im2Col(x.Data[b*c.InC*h*w:], c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, oh, ow, buf)
+		out := y.Data[b*c.OutC*cols:]
+		// out(OutC, cols) = W(OutC, krows) * buf(krows, cols)
+		tensor.Gemm(1, c.W.Value.Data, c.OutC, krows, buf, cols, 0, out[:c.OutC*cols])
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.B.Value.Data[oc]
+			row := out[oc*cols : oc*cols+cols]
+			for i := range row {
+				row[i] += bias
+			}
+		}
+	}
+	return y
+}
+
+// Backward computes dX and accumulates dW, dB.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastX == nil {
+		panic("nn: Conv2D.Backward before Forward(train=true)")
+	}
+	batch := grad.Dim(0)
+	oh, ow := grad.Dim(2), grad.Dim(3)
+	cols := oh * ow
+	krows := c.InC * c.KH * c.KW
+	colSize := krows * cols
+	dx := tensor.New(batch, c.InC, c.h, c.w)
+	dcols := make([]float32, colSize)
+
+	for b := 0; b < batch; b++ {
+		g := grad.Data[b*c.OutC*cols : (b+1)*c.OutC*cols]
+		bufCols := c.lastCols[b*colSize : (b+1)*colSize]
+		// dW(OutC,krows) += g(OutC,cols) * colsᵀ(cols,krows)
+		tensor.GemmTB(1, g, c.OutC, cols, bufCols, krows, 1, c.W.Grad.Data)
+		// dB += per-channel sums
+		for oc := 0; oc < c.OutC; oc++ {
+			var s float64
+			for _, v := range g[oc*cols : oc*cols+cols] {
+				s += float64(v)
+			}
+			c.B.Grad.Data[oc] += float32(s)
+		}
+		// dcols(krows,cols) = Wᵀ(krows,OutC) * g(OutC,cols)
+		tensor.GemmTA(1, c.W.Value.Data, c.OutC, krows, g, cols, 0, dcols)
+		tensor.Col2Im(dcols, c.InC, c.h, c.w, c.KH, c.KW, c.Stride, c.Pad, oh, ow, dx.Data[b*c.InC*c.h*c.w:])
+	}
+	return dx
+}
+
+// Params returns W then B.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }

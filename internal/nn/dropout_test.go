@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"dgs/internal/tensor"
+)
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout(0.5, 1)
+	x := smallInput(tensor.NewRNG(1), 2, 10)
+	y := d.Forward(x, false)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("eval-mode dropout must be identity")
+		}
+	}
+}
+
+func TestDropoutZeroProbIsIdentity(t *testing.T) {
+	d := NewDropout(0, 1)
+	x := smallInput(tensor.NewRNG(2), 1, 8)
+	y := d.Forward(x, true)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("p=0 dropout must be identity")
+		}
+	}
+}
+
+func TestDropoutPreservesExpectation(t *testing.T) {
+	// Inverted dropout: E[y] = x. Average many masks of a constant input.
+	d := NewDropout(0.3, 3)
+	x := tensor.New(1, 1000)
+	x.Fill(1)
+	var sum float64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		y := d.Forward(x, true)
+		sum += tensor.Sum(y.Data)
+	}
+	mean := sum / (trials * 1000)
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("dropout mean %v, want ~1 (inverted scaling)", mean)
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	d := NewDropout(0.5, 4)
+	x := tensor.New(1, 100)
+	x.Fill(1)
+	y := d.Forward(x, true)
+	g := tensor.New(1, 100)
+	g.Fill(1)
+	dx := d.Backward(g)
+	for i := range y.Data {
+		// Surviving units have y=2 (scale 2) and must receive grad 2;
+		// dropped units must receive 0.
+		if (y.Data[i] != 0) != (dx.Data[i] != 0) {
+			t.Fatalf("grad routing disagrees with mask at %d", i)
+		}
+	}
+}
+
+func TestDropoutBadProbPanics(t *testing.T) {
+	for _, p := range []float32{-0.1, 1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v must panic", p)
+				}
+			}()
+			NewDropout(p, 1)
+		}()
+	}
+}
+
+func TestAvgPool2D(t *testing.T) {
+	p := NewAvgPool2D(2)
+	x := tensor.FromSlice([]float32{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 10, 13, 14,
+		11, 12, 15, 16,
+	}, 1, 1, 4, 4)
+	y := p.Forward(x, true)
+	want := []float32{2.5, 6.5, 10.5, 14.5}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("avg pool out[%d]=%v want %v", i, y.Data[i], want[i])
+		}
+	}
+	g := tensor.FromSlice([]float32{4, 8, 12, 16}, 1, 1, 2, 2)
+	dx := p.Backward(g)
+	// Each window cell receives g/4.
+	if dx.At(0, 0, 0, 0) != 1 || dx.At(0, 0, 0, 2) != 2 || dx.At(0, 0, 3, 3) != 4 {
+		t.Fatalf("avg pool backward wrong: %v", dx.Data)
+	}
+	var sum float32
+	for _, v := range dx.Data {
+		sum += v
+	}
+	if sum != 40 {
+		t.Fatalf("avg pool grad mass %v, want 40", sum)
+	}
+}
+
+func TestAvgPoolGradcheck(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	m := NewModel(NewSequential(
+		NewConv2D("c", 1, 2, 3, 1, 1, rng),
+		NewAvgPool2D(2),
+		NewFlatten(),
+		NewLinear("head", 2*3*3, 2, rng),
+	))
+	x := smallInput(rng, 2, 1, 6, 6)
+	checkGradients(t, m, x, []int{0, 1})
+}

@@ -1,0 +1,276 @@
+// Package optim implements the worker-side update rules the paper compares:
+//
+//   - DenseSGD: vanilla ASGD (no sparsification, no momentum) — sends η∇.
+//   - DenseMomentum: vanilla momentum for the single-node MSGD baseline.
+//   - GradientDropping: Aji & Heafield Top-k with local residual
+//     accumulation (paper Algorithm 1 without SAMomentum).
+//   - DGC: Lin et al. momentum correction + momentum factor masking
+//     (the paper's strongest prior-work baseline, run as DGC-async).
+//   - SAMomentum: the paper's sparsification-aware momentum
+//     (Algorithm 3, Eqs. 14–16).
+//
+// Every optimizer follows the same contract: Prepare consumes this step's
+// per-layer mean gradients and learning rate and returns the sparse update
+// to transmit. Returned updates hold "descent deltas" d — the server
+// subtracts them from its update accumulation M, and model application is
+// θ ← θ − d.
+package optim
+
+import (
+	"dgs/internal/sparse"
+)
+
+// WorkerOptimizer turns local gradients into the update a worker transmits.
+type WorkerOptimizer interface {
+	// Prepare consumes per-layer gradients (owned by the caller; Prepare
+	// must not retain them) and the current learning rate, updates internal
+	// state, and returns the update to send.
+	Prepare(grads [][]float32, lr float32) sparse.Update
+	// Name identifies the rule in logs and tables.
+	Name() string
+	// StateBytes reports worker-side optimizer memory (paper §5.6.2).
+	StateBytes() int
+}
+
+func allocLike(sizes []int) [][]float32 {
+	out := make([][]float32, len(sizes))
+	for i, n := range sizes {
+		out[i] = make([]float32, n)
+	}
+	return out
+}
+
+func totalBytes(buffers ...[][]float32) int {
+	n := 0
+	for _, buf := range buffers {
+		for _, l := range buf {
+			n += 4 * len(l)
+		}
+	}
+	return n
+}
+
+// DenseSGD sends η∇ densely every step: the ASGD baseline.
+type DenseSGD struct{}
+
+// NewDenseSGD returns the ASGD update rule.
+func NewDenseSGD() *DenseSGD { return &DenseSGD{} }
+
+// Prepare returns the dense scaled gradient.
+func (o *DenseSGD) Prepare(grads [][]float32, lr float32) sparse.Update {
+	scaled := make([][]float32, len(grads))
+	for i, g := range grads {
+		s := make([]float32, len(g))
+		for j, v := range g {
+			s[j] = lr * v
+		}
+		scaled[i] = s
+	}
+	return sparse.DenseUpdate(scaled)
+}
+
+// Name implements WorkerOptimizer.
+func (o *DenseSGD) Name() string { return "ASGD" }
+
+// StateBytes implements WorkerOptimizer; DenseSGD is stateless.
+func (o *DenseSGD) StateBytes() int { return 0 }
+
+// DenseMomentum sends the full velocity u = m·u + η∇ every step. With a
+// single worker this reproduces the MSGD baseline (paper Eq. 7).
+type DenseMomentum struct {
+	M float32
+	u [][]float32
+}
+
+// NewDenseMomentum creates the rule for a model with the given layer sizes.
+func NewDenseMomentum(layerSizes []int, m float32) *DenseMomentum {
+	return &DenseMomentum{M: m, u: allocLike(layerSizes)}
+}
+
+// Prepare computes u = m·u + η∇ and sends u densely.
+func (o *DenseMomentum) Prepare(grads [][]float32, lr float32) sparse.Update {
+	for i, g := range grads {
+		u := o.u[i]
+		for j, v := range g {
+			u[j] = o.M*u[j] + lr*v
+		}
+	}
+	return sparse.DenseUpdate(o.u)
+}
+
+// Name implements WorkerOptimizer.
+func (o *DenseMomentum) Name() string { return "MSGD" }
+
+// StateBytes implements WorkerOptimizer.
+func (o *DenseMomentum) StateBytes() int { return totalBytes(o.u) }
+
+// GradientDropping implements Aji & Heafield: accumulate η∇ into a residual
+// r, transmit the per-layer Top-k of r, and keep the rest for later
+// (paper Algorithm 1, "DGS without SAMomentum" upward path).
+type GradientDropping struct {
+	// KeepRatio is the fraction of each layer transmitted (paper R%).
+	KeepRatio float64
+	r         [][]float32
+}
+
+// NewGradientDropping creates the rule.
+func NewGradientDropping(layerSizes []int, keepRatio float64) *GradientDropping {
+	return &GradientDropping{KeepRatio: keepRatio, r: allocLike(layerSizes)}
+}
+
+// Prepare accumulates and selects: r += η∇; send top-k(r); r[sent] = 0.
+func (o *GradientDropping) Prepare(grads [][]float32, lr float32) sparse.Update {
+	var u sparse.Update
+	for i, g := range grads {
+		r := o.r[i]
+		for j, v := range g {
+			r[j] += lr * v
+		}
+		k := sparse.KForRatio(len(r), o.KeepRatio)
+		if k == 0 {
+			continue
+		}
+		idx := sparse.TopKIndices(r, k)
+		c := sparse.Gather(i, r, idx)
+		sparse.ScatterZero(&c, r)
+		u.Chunks = append(u.Chunks, c)
+	}
+	return u
+}
+
+// Name implements WorkerOptimizer.
+func (o *GradientDropping) Name() string { return "GD-async" }
+
+// StateBytes implements WorkerOptimizer.
+func (o *GradientDropping) StateBytes() int { return totalBytes(o.r) }
+
+// DGC implements Deep Gradient Compression's local update rule:
+// momentum correction (velocity is accumulated, not raw gradients) and
+// momentum factor masking (sent coordinates have their momentum cleared).
+//
+//	u = m·u + η∇
+//	v = v + u
+//	send top-k(v); v[sent] = 0; u[sent] = 0
+type DGC struct {
+	M         float32
+	KeepRatio float64
+	u, v      [][]float32
+}
+
+// NewDGC creates the rule.
+func NewDGC(layerSizes []int, m float32, keepRatio float64) *DGC {
+	return &DGC{M: m, KeepRatio: keepRatio, u: allocLike(layerSizes), v: allocLike(layerSizes)}
+}
+
+// Prepare applies momentum correction and factor masking.
+func (o *DGC) Prepare(grads [][]float32, lr float32) sparse.Update {
+	var out sparse.Update
+	for i, g := range grads {
+		u, v := o.u[i], o.v[i]
+		for j, gv := range g {
+			u[j] = o.M*u[j] + lr*gv
+			v[j] += u[j]
+		}
+		k := sparse.KForRatio(len(v), o.KeepRatio)
+		if k == 0 {
+			continue
+		}
+		idx := sparse.TopKIndices(v, k)
+		c := sparse.Gather(i, v, idx)
+		sparse.ScatterZero(&c, v)
+		// Momentum factor masking: stop stale momentum at sent coords.
+		for _, j := range c.Idx {
+			u[j] = 0
+		}
+		out.Chunks = append(out.Chunks, c)
+	}
+	return out
+}
+
+// Name implements WorkerOptimizer.
+func (o *DGC) Name() string { return "DGC-async" }
+
+// StateBytes implements WorkerOptimizer.
+func (o *DGC) StateBytes() int { return totalBytes(o.u, o.v) }
+
+// SAMomentum is the paper's sparsification-aware momentum (Algorithm 3):
+//
+//	u = m·u + η∇
+//	per layer: thr = R% of |u|; mask = |u| > thr
+//	send g = u ⊙ mask
+//	u = u + (1/m − 1)·(u ⊙ ¬mask)      // unsent coordinates ×(1/m)
+//
+// Sent coordinates keep their velocity (classic momentum retention);
+// unsent coordinates are magnified by 1/m so that a coordinate silent for
+// T steps telescopes to u_{c+T} = m·u_c + η·Σ∇ (paper Eq. 16) — exactly
+// per-parameter enlarged-batch MSGD, so momentum never disappears.
+type SAMomentum struct {
+	M         float32
+	KeepRatio float64
+	u         [][]float32
+}
+
+// NewSAMomentum creates the rule. m must be in (0,1): the 1/m rescale is
+// undefined at m=0.
+func NewSAMomentum(layerSizes []int, m float32, keepRatio float64) *SAMomentum {
+	if m <= 0 || m >= 1 {
+		panic("optim: SAMomentum requires 0 < m < 1")
+	}
+	return &SAMomentum{M: m, KeepRatio: keepRatio, u: allocLike(layerSizes)}
+}
+
+// Prepare implements Algorithm 3 lines 6–12.
+func (o *SAMomentum) Prepare(grads [][]float32, lr float32) sparse.Update {
+	invM := 1 / o.M
+	var out sparse.Update
+	for i, g := range grads {
+		u := o.u[i]
+		for j, gv := range g {
+			u[j] = o.M*u[j] + lr*gv
+		}
+		k := sparse.KForRatio(len(u), o.KeepRatio)
+		if k == 0 {
+			continue
+		}
+		idx := sparse.TopKIndices(u, k)
+		c := sparse.Gather(i, u, idx)
+		// Magnify every unsent coordinate by 1/m. Walk the sorted sent
+		// indices alongside the full range.
+		si := 0
+		for j := range u {
+			if si < len(c.Idx) && int32(j) == c.Idx[si] {
+				si++ // sent: velocity retained as-is
+				continue
+			}
+			u[j] *= invM
+		}
+		out.Chunks = append(out.Chunks, c)
+	}
+	return out
+}
+
+// Name implements WorkerOptimizer.
+func (o *SAMomentum) Name() string { return "DGS" }
+
+// StateBytes implements WorkerOptimizer.
+func (o *SAMomentum) StateBytes() int { return totalBytes(o.u) }
+
+// Velocity exposes the internal buffer for invariant tests.
+func (o *SAMomentum) Velocity() [][]float32 { return o.u }
+
+// RatioSetter is implemented by the sparsifying optimizers so callers can
+// anneal the keep ratio during training (warm-up schedules).
+type RatioSetter interface {
+	// SetKeepRatio changes the per-layer keep fraction for subsequent
+	// Prepare calls.
+	SetKeepRatio(r float64)
+}
+
+// SetKeepRatio implements RatioSetter.
+func (o *GradientDropping) SetKeepRatio(r float64) { o.KeepRatio = r }
+
+// SetKeepRatio implements RatioSetter.
+func (o *DGC) SetKeepRatio(r float64) { o.KeepRatio = r }
+
+// SetKeepRatio implements RatioSetter.
+func (o *SAMomentum) SetKeepRatio(r float64) { o.KeepRatio = r }

@@ -1,0 +1,48 @@
+package optim
+
+import "math"
+
+// Warmup schedules mirror the tricks Lin et al. (DGC) use to stabilise
+// early sparse training and that the paper's §2 discusses for large-batch
+// training: the learning rate ramps up linearly over the first epochs, and
+// the sparsity ratio anneals from dense-ish toward the target (e.g. 25% →
+// 6.25% → 1.56% → 1%) so that early, rapidly-changing gradients are not
+// starved.
+
+// LRWarmup returns a multiplicative factor in (0,1] for the learning rate
+// at the given fraction of the warmup period; after warmupFrac of training
+// it is 1. progress and warmupFrac are fractions of the total run in [0,1].
+func LRWarmup(progress, warmupFrac float64) float64 {
+	if warmupFrac <= 0 || progress >= warmupFrac {
+		return 1
+	}
+	if progress < 0 {
+		progress = 0
+	}
+	f := progress / warmupFrac
+	if f < 0.05 {
+		f = 0.05 // linear ramp, never zero
+	}
+	return f
+}
+
+// SparsityWarmup returns the keep ratio to use at the given training
+// progress: it anneals in DGC's stepped-exponential fashion from warmStart
+// (e.g. 0.25) to target (e.g. 0.01) across the first warmupFrac of
+// training, then stays at target.
+func SparsityWarmup(progress, warmupFrac, warmStart, target float64) float64 {
+	if warmupFrac <= 0 || progress >= warmupFrac || warmStart <= target {
+		return target
+	}
+	if progress < 0 {
+		progress = 0
+	}
+	const steps = 4
+	f := progress / warmupFrac // 0 → 1 over the warmup window
+	stepIdx := float64(int(f * steps))
+	ratio := warmStart * math.Pow(target/warmStart, stepIdx/steps)
+	if ratio < target {
+		ratio = target
+	}
+	return ratio
+}

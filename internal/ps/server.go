@@ -1,0 +1,233 @@
+// Package ps implements the parameter server with Model Difference
+// Tracking (paper §4.2.1, Algorithm 2).
+//
+// The server does not store the global model. It stores the accumulation of
+// updates M (M_t = θ_t − θ_0, Eq. 2) and, per worker k, the accumulation
+// v_k of everything already sent to that worker. When worker k pushes a
+// sparse update g the server applies M ← M − g, computes the model
+// difference G = M − v_k (Eq. 3), optionally secondary-compresses it
+// (Eq. 6), sends it down, and advances v_k ← v_k + G. Without secondary
+// compression v_k == M after every exchange, so the worker that applies G
+// holds exactly the server model (Eq. 5): DGS without sparsification is
+// ASGD.
+package ps
+
+import (
+	"fmt"
+	"sync"
+
+	"dgs/internal/sparse"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// LayerSizes gives the element count of each model layer.
+	LayerSizes []int
+	// Workers is the number of workers that will attach (ids 0..Workers-1).
+	Workers int
+	// Secondary enables secondary compression of the downward difference
+	// (paper Algorithm 2 lines 5–11).
+	Secondary bool
+	// SecondaryRatio is the keep fraction per layer when Secondary is on
+	// (e.g. 0.01 for the paper's 99% compression).
+	SecondaryRatio float64
+	// DenseDownward makes the server ship the complete model state
+	// downward (vanilla ASGD's "download the whole model"). Numerically it
+	// equals an uncompressed difference plus the worker's own state, but
+	// the wire cost is the full dense model — this flag exists so traffic
+	// accounting reflects the baseline's true cost.
+	DenseDownward bool
+}
+
+// Stats is a snapshot of server counters.
+type Stats struct {
+	// Pushes is the number of updates applied (the server timestamp t).
+	Pushes uint64
+	// StalenessSum accumulates (t − prev(k)) over pushes; divide by Pushes
+	// for the mean staleness workers observe.
+	StalenessSum uint64
+	// MaxStaleness is the largest staleness observed.
+	MaxStaleness uint64
+}
+
+// Pusher is the server-side exchange interface shared by Server and
+// ShardedServer: apply a worker's update, return its model difference.
+type Pusher interface {
+	// Push applies the update and returns the downward difference plus a
+	// monotone logical timestamp.
+	Push(worker int, g *sparse.Update) (sparse.Update, uint64)
+	// Stats snapshots staleness counters.
+	Stats() Stats
+	// StateBytes reports server memory.
+	StateBytes() int
+	// LayerSizes returns the model geometry.
+	LayerSizes() []int
+}
+
+// Server is a thread-safe DGS parameter server.
+type Server struct {
+	cfg Config
+
+	mu    sync.Mutex
+	m     [][]float32   // M: accumulation of updates
+	v     [][][]float32 // v[k]: accumulation of differences sent to worker k
+	prev  []uint64      // prev(k): server timestamp at worker k's last exchange
+	t     uint64        // timestamp: number of updates applied
+	stats Stats
+
+	// scratch for difference computation, reused under the lock
+	diff [][]float32
+}
+
+// NewServer builds a server for the given configuration.
+func NewServer(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		panic("ps: need at least one worker")
+	}
+	if cfg.Secondary && (cfg.SecondaryRatio <= 0 || cfg.SecondaryRatio > 1) {
+		panic(fmt.Sprintf("ps: secondary ratio %v out of (0,1]", cfg.SecondaryRatio))
+	}
+	s := &Server{cfg: cfg}
+	alloc := func() [][]float32 {
+		out := make([][]float32, len(cfg.LayerSizes))
+		for i, n := range cfg.LayerSizes {
+			out[i] = make([]float32, n)
+		}
+		return out
+	}
+	s.m = alloc()
+	s.diff = alloc()
+	s.v = make([][][]float32, cfg.Workers)
+	for k := range s.v {
+		s.v[k] = alloc()
+	}
+	s.prev = make([]uint64, cfg.Workers)
+	return s
+}
+
+// Push applies worker k's update g (M ← M − g), computes the downward model
+// difference G for k, advances v_k and prev(k), and returns G together with
+// the new server timestamp. It is safe for concurrent use by multiple
+// workers. The returned update is owned by the caller.
+func (s *Server) Push(worker int, g *sparse.Update) (sparse.Update, uint64) {
+	if worker < 0 || worker >= s.cfg.Workers {
+		panic(fmt.Sprintf("ps: worker %d out of range [0,%d)", worker, s.cfg.Workers))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Staleness accounting: how many server updates happened since this
+	// worker last synchronised.
+	stale := s.t - s.prev[worker]
+	s.stats.StalenessSum += stale
+	if stale > s.stats.MaxStaleness {
+		s.stats.MaxStaleness = stale
+	}
+
+	// Apply the upward update: M ← M − g (Algorithm 2 line 3).
+	for i := range g.Chunks {
+		c := &g.Chunks[i]
+		sparse.Scatter(c, s.m[c.Layer], -1)
+	}
+	s.t++
+	s.stats.Pushes++
+
+	// Compute G = M − v_k into scratch (Eq. 3 / Algorithm 2 line 4).
+	vk := s.v[worker]
+	var out sparse.Update
+	for layer := range s.m {
+		d := s.diff[layer]
+		ml, vl := s.m[layer], vk[layer]
+		nnz := 0
+		for j := range d {
+			d[j] = ml[j] - vl[j]
+			if d[j] != 0 {
+				nnz++
+			}
+		}
+		if s.cfg.DenseDownward {
+			// Ship every coordinate (whole-model download semantics).
+			idx := make([]int32, len(d))
+			for j := range idx {
+				idx[j] = int32(j)
+			}
+			c := sparse.Gather(layer, d, idx)
+			sparse.Scatter(&c, vl, 1)
+			out.Chunks = append(out.Chunks, c)
+			continue
+		}
+		if nnz == 0 {
+			continue
+		}
+		var idx []int32
+		if s.cfg.Secondary {
+			// Secondary compression: keep only the top R% of |G| for this
+			// layer; the remainder stays implicit in M − v_k and is
+			// transmitted once it grows large enough (Eq. 6).
+			k := sparse.KForRatio(len(d), s.cfg.SecondaryRatio)
+			if k > nnz {
+				k = nnz
+			}
+			idx = sparse.TopKIndices(d, k)
+		} else {
+			idx = make([]int32, 0, nnz)
+			for j, dv := range d {
+				if dv != 0 {
+					idx = append(idx, int32(j))
+				}
+			}
+		}
+		c := sparse.Gather(layer, d, idx)
+		// v_k ← v_k + G (Eq. 6b): record exactly what was sent.
+		sparse.Scatter(&c, vl, 1)
+		out.Chunks = append(out.Chunks, c)
+	}
+	s.prev[worker] = s.t
+	return out, s.t
+}
+
+// Timestamp returns the current server timestamp t.
+func (s *Server) Timestamp() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// MSnapshot copies the current update accumulation M (θ_t − θ_0) into dst.
+func (s *Server) MSnapshot(dst [][]float32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.m {
+		copy(dst[i], s.m[i])
+	}
+}
+
+// VSnapshot copies worker k's sent-accumulation v_k into dst (for tests and
+// invariant checks).
+func (s *Server) VSnapshot(worker int, dst [][]float32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.v[worker] {
+		copy(dst[i], s.v[worker][i])
+	}
+}
+
+// StateBytes reports server memory: M plus one v_k per worker — the paper's
+// §5.6.2 overhead of NumWorkers × model size.
+func (s *Server) StateBytes() int {
+	n := 0
+	for _, l := range s.cfg.LayerSizes {
+		n += 4 * l
+	}
+	return n * (1 + s.cfg.Workers)
+}
+
+// LayerSizes returns the configured layer sizes.
+func (s *Server) LayerSizes() []int { return s.cfg.LayerSizes }

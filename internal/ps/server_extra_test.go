@@ -1,0 +1,63 @@
+package ps
+
+import (
+	"testing"
+
+	"dgs/internal/sparse"
+	"dgs/internal/tensor"
+)
+
+// DenseDownward takes precedence over secondary compression: ASGD-mode
+// servers always ship the full model.
+func TestDenseDownwardIgnoresSecondary(t *testing.T) {
+	sizes := []int{50}
+	s := NewServer(Config{LayerSizes: sizes, Workers: 1, DenseDownward: true, Secondary: true, SecondaryRatio: 0.1})
+	rng := tensor.NewRNG(9)
+	g := randomUpdate(rng, sizes, 1)
+	G, _ := s.Push(0, &g)
+	if G.NNZ() != 50 {
+		t.Fatalf("dense downward NNZ %d, want full model (50)", G.NNZ())
+	}
+}
+
+// A worker that receives only secondary-compressed differences never sees
+// an index outside the model: structural validation on every response.
+func TestSecondaryResponsesValidate(t *testing.T) {
+	sizes := []int{33, 7}
+	s := NewServer(Config{LayerSizes: sizes, Workers: 2, Secondary: true, SecondaryRatio: 0.2})
+	rng := tensor.NewRNG(10)
+	for i := 0; i < 20; i++ {
+		g := randomUpdate(rng, sizes, 0.3)
+		G, _ := s.Push(i%2, &g)
+		if err := G.Validate(sizes); err != nil {
+			t.Fatalf("push %d: invalid response: %v", i, err)
+		}
+	}
+}
+
+// Timestamps strictly increase with every push and prev(k) trails them.
+func TestTimestampMonotonic(t *testing.T) {
+	s := NewServer(Config{LayerSizes: []int{4}, Workers: 3})
+	empty := sparse.Update{}
+	var prev uint64
+	for i := 0; i < 9; i++ {
+		_, ts := s.Push(i%3, &empty)
+		if ts != prev+1 {
+			t.Fatalf("timestamp %d after %d", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+// An empty update still advances time and returns the pending difference.
+func TestEmptyPushDeliversPendingDiff(t *testing.T) {
+	sizes := []int{10}
+	s := NewServer(Config{LayerSizes: sizes, Workers: 2})
+	g := sparse.Update{Chunks: []sparse.Chunk{{Layer: 0, Idx: []int32{3}, Val: []float32{2}}}}
+	s.Push(1, &g) // worker 1 contributes
+	empty := sparse.Update{}
+	G, _ := s.Push(0, &empty) // worker 0 fetches
+	if G.NNZ() != 1 || G.Chunks[0].Idx[0] != 3 || G.Chunks[0].Val[0] != -2 {
+		t.Fatalf("pending diff wrong: %+v", G)
+	}
+}

@@ -1,0 +1,141 @@
+package ps
+
+import (
+	"fmt"
+
+	"dgs/internal/sparse"
+)
+
+// ShardedServer partitions the model's layers across several independent
+// Server shards, the classic parameter-server scaling move (Li et al.,
+// OSDI'14, which the paper's PS architecture follows). Each shard owns its
+// own lock, so pushes from different workers pipeline across shards
+// instead of serialising on one global mutex.
+//
+// Shards see a consistent per-worker exchange: a push is split by layer,
+// applied to every owning shard, and the downward differences are merged
+// back into one update with global layer ids.
+type ShardedServer struct {
+	shards []*Server
+	// layerShard[l] is the shard owning global layer l; layerLocal[l] is
+	// that layer's index within the shard.
+	layerShard []int
+	layerLocal []int
+	sizes      []int
+}
+
+// NewShardedServer builds numShards shards over the given layers, assigning
+// each layer to the currently lightest shard (greedy balance by element
+// count). The per-shard configuration mirrors cfg (secondary compression,
+// dense downward, worker count).
+func NewShardedServer(cfg Config, numShards int) *ShardedServer {
+	if numShards < 1 {
+		panic("ps: need at least one shard")
+	}
+	if numShards > len(cfg.LayerSizes) {
+		numShards = len(cfg.LayerSizes)
+	}
+	s := &ShardedServer{
+		layerShard: make([]int, len(cfg.LayerSizes)),
+		layerLocal: make([]int, len(cfg.LayerSizes)),
+		sizes:      append([]int(nil), cfg.LayerSizes...),
+	}
+	load := make([]int, numShards)
+	shardLayers := make([][]int, numShards)
+	for l, n := range cfg.LayerSizes {
+		lightest := 0
+		for i := 1; i < numShards; i++ {
+			if load[i] < load[lightest] {
+				lightest = i
+			}
+		}
+		s.layerShard[l] = lightest
+		s.layerLocal[l] = len(shardLayers[lightest])
+		shardLayers[lightest] = append(shardLayers[lightest], n)
+		load[lightest] += n
+	}
+	for i := 0; i < numShards; i++ {
+		sc := cfg
+		sc.LayerSizes = shardLayers[i]
+		if len(sc.LayerSizes) == 0 {
+			// Guaranteed non-empty by the numShards clamp above, but keep
+			// the shard well-formed regardless.
+			sc.LayerSizes = []int{0}
+		}
+		s.shards = append(s.shards, NewServer(sc))
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *ShardedServer) NumShards() int { return len(s.shards) }
+
+// Push splits the update across shards, applies each piece, and merges the
+// downward differences back into global layer ids. The returned timestamp
+// is the sum of shard timestamps (a useful monotone logical clock).
+func (s *ShardedServer) Push(worker int, g *sparse.Update) (sparse.Update, uint64) {
+	// Split the upward update per shard, remapping layer ids.
+	perShard := make([]sparse.Update, len(s.shards))
+	for i := range g.Chunks {
+		c := g.Chunks[i]
+		if c.Layer < 0 || c.Layer >= len(s.layerShard) {
+			panic(fmt.Sprintf("ps: sharded push references layer %d of %d", c.Layer, len(s.layerShard)))
+		}
+		sh := s.layerShard[c.Layer]
+		local := c // copy the chunk header; index/value slices are shared
+		local.Layer = s.layerLocal[c.Layer]
+		perShard[sh].Chunks = append(perShard[sh].Chunks, local)
+	}
+
+	// Build the local→global layer maps once.
+	globalOf := make([][]int, len(s.shards))
+	for l, sh := range s.layerShard {
+		for len(globalOf[sh]) <= s.layerLocal[l] {
+			globalOf[sh] = append(globalOf[sh], 0)
+		}
+		globalOf[sh][s.layerLocal[l]] = l
+	}
+
+	var out sparse.Update
+	var clock uint64
+	for sh, shard := range s.shards {
+		G, ts := shard.Push(worker, &perShard[sh])
+		clock += ts
+		for i := range G.Chunks {
+			c := G.Chunks[i]
+			c.Layer = globalOf[sh][c.Layer]
+			out.Chunks = append(out.Chunks, c)
+		}
+	}
+	return out, clock
+}
+
+// Stats aggregates the shard counters.
+func (s *ShardedServer) Stats() Stats {
+	var total Stats
+	for _, shard := range s.shards {
+		st := shard.Stats()
+		total.Pushes += st.Pushes
+		total.StalenessSum += st.StalenessSum
+		if st.MaxStaleness > total.MaxStaleness {
+			total.MaxStaleness = st.MaxStaleness
+		}
+	}
+	return total
+}
+
+// StateBytes totals shard memory.
+func (s *ShardedServer) StateBytes() int {
+	n := 0
+	for _, shard := range s.shards {
+		n += shard.StateBytes()
+	}
+	return n
+}
+
+// LayerSizes returns the global layer sizes.
+func (s *ShardedServer) LayerSizes() []int { return s.sizes }
+
+// ShardOf reports which shard owns a global layer (for tests and
+// placement inspection).
+func (s *ShardedServer) ShardOf(layer int) int { return s.layerShard[layer] }

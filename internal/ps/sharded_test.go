@@ -1,0 +1,141 @@
+package ps
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"dgs/internal/sparse"
+	"dgs/internal/tensor"
+)
+
+func TestShardedEquivalentToSingleServer(t *testing.T) {
+	// Without secondary compression, a sharded server must produce the
+	// same worker-visible model as a single server fed the same pushes.
+	sizes := []int{17, 5, 23, 9}
+	single := NewServer(Config{LayerSizes: sizes, Workers: 2})
+	shard := NewShardedServer(Config{LayerSizes: sizes, Workers: 2}, 3)
+	rng := tensor.NewRNG(1)
+	localSingle := alloc(sizes)
+	localShard := alloc(sizes)
+	for step := 0; step < 20; step++ {
+		k := step % 2
+		g := randomUpdate(rng, sizes, 0.3)
+		g2 := sparse.Update{Chunks: append([]sparse.Chunk(nil), g.Chunks...)}
+		G1, _ := single.Push(k, &g)
+		G2, _ := shard.Push(k, &g2)
+		if k == 0 {
+			apply(&G1, localSingle, 1)
+			apply(&G2, localShard, 1)
+		}
+	}
+	for layer := range localSingle {
+		for j := range localSingle[layer] {
+			d := math.Abs(float64(localSingle[layer][j] - localShard[layer][j]))
+			if d > 1e-5 {
+				t.Fatalf("layer %d elem %d: single %v vs sharded %v", layer, j,
+					localSingle[layer][j], localShard[layer][j])
+			}
+		}
+	}
+}
+
+func TestShardedBalancesLoad(t *testing.T) {
+	sizes := []int{100, 100, 100, 100, 100, 100}
+	s := NewShardedServer(Config{LayerSizes: sizes, Workers: 1}, 3)
+	counts := make([]int, 3)
+	for l := range sizes {
+		counts[s.ShardOf(l)] += sizes[l]
+	}
+	for i, c := range counts {
+		if c != 200 {
+			t.Fatalf("shard %d holds %d elements; want 200 (balanced)", i, c)
+		}
+	}
+}
+
+func TestShardedClampsShardCount(t *testing.T) {
+	s := NewShardedServer(Config{LayerSizes: []int{4, 4}, Workers: 1}, 10)
+	if s.NumShards() != 2 {
+		t.Fatalf("shards %d, want clamp to layer count 2", s.NumShards())
+	}
+}
+
+func TestShardedStatsAggregate(t *testing.T) {
+	sizes := []int{8, 8}
+	s := NewShardedServer(Config{LayerSizes: sizes, Workers: 1}, 2)
+	empty := sparse.Update{}
+	s.Push(0, &empty)
+	s.Push(0, &empty)
+	st := s.Stats()
+	// Each push touches both shards: 2 pushes × 2 shards.
+	if st.Pushes != 4 {
+		t.Fatalf("aggregated pushes %d, want 4", st.Pushes)
+	}
+}
+
+func TestShardedStateBytes(t *testing.T) {
+	sizes := []int{10, 10}
+	single := NewServer(Config{LayerSizes: sizes, Workers: 3})
+	shard := NewShardedServer(Config{LayerSizes: sizes, Workers: 3}, 2)
+	if shard.StateBytes() != single.StateBytes() {
+		t.Fatalf("sharded state %dB != single %dB; sharding must not change totals",
+			shard.StateBytes(), single.StateBytes())
+	}
+}
+
+func TestShardedConcurrentConservation(t *testing.T) {
+	sizes := []int{64, 32}
+	const workers = 4
+	const pushes = 30
+	// One extra worker slot (id 4) stays silent so it can recover the full
+	// accumulated M at the end.
+	s := NewShardedServer(Config{LayerSizes: sizes, Workers: workers + 1}, 2)
+	var mu sync.Mutex
+	total := alloc(sizes)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			rng := tensor.NewRNG(uint64(200 + k))
+			localSum := alloc(sizes)
+			for i := 0; i < pushes; i++ {
+				g := randomUpdate(rng, sizes, 0.25)
+				apply(&g, localSum, 1)
+				s.Push(k, &g)
+			}
+			mu.Lock()
+			for layer := range total {
+				for j := range total[layer] {
+					total[layer][j] += localSum[layer][j]
+				}
+			}
+			mu.Unlock()
+		}(k)
+	}
+	wg.Wait()
+	// The silent worker's first difference is the entire M.
+	recovered := alloc(sizes)
+	empty := sparse.Update{}
+	for i := 0; i < 4; i++ { // a few rounds in case of ulp re-sends
+		G, _ := s.Push(workers, &empty)
+		apply(&G, recovered, 1)
+	}
+	for layer := range recovered {
+		for j := range recovered[layer] {
+			if math.Abs(float64(recovered[layer][j]+total[layer][j])) > 1e-3 {
+				t.Fatalf("mass lost at %d/%d", layer, j)
+			}
+		}
+	}
+}
+
+func TestShardedBadShardCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0 shards must panic")
+		}
+	}()
+	NewShardedServer(Config{LayerSizes: []int{1}, Workers: 1}, 0)
+}

@@ -1,0 +1,108 @@
+// Package quant implements the compression extensions the paper's
+// conclusion proposes combining with DGS: TernGrad-style ternary
+// quantization (Wen et al., NeurIPS 2017) applied to the sparse values,
+// and random coordinate dropping (Wangni et al., NeurIPS 2018) as an
+// alternative to Top-k selection.
+package quant
+
+import (
+	"dgs/internal/sparse"
+	"dgs/internal/tensor"
+)
+
+// TernarizeChunk quantizes a chunk's values to {−s, 0, +s} where s is the
+// max |value|, using stochastic rounding so the quantization is unbiased:
+// E[q_i] = v_i. It returns the quantized chunk (indices shared) and the
+// scale. Dropped (rounded-to-zero) coordinates are removed, so ternarized
+// updates compress even further.
+func TernarizeChunk(c *sparse.Chunk, rng *tensor.RNG) (sparse.Chunk, float32) {
+	var s float32
+	for _, v := range c.Val {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > s {
+			s = a
+		}
+	}
+	out := sparse.Chunk{Layer: c.Layer}
+	if s == 0 {
+		return out, 0
+	}
+	for i, v := range c.Val {
+		p := v / s // in [-1,1]
+		neg := p < 0
+		if neg {
+			p = -p
+		}
+		// Keep with probability |v|/s at magnitude s: unbiased.
+		if rng.Float32() < p {
+			q := s
+			if neg {
+				q = -s
+			}
+			out.Idx = append(out.Idx, c.Idx[i])
+			out.Val = append(out.Val, q)
+		}
+	}
+	return out, s
+}
+
+// TernarizeUpdate applies TernarizeChunk to every chunk of an update.
+func TernarizeUpdate(u *sparse.Update, rng *tensor.RNG) sparse.Update {
+	var out sparse.Update
+	for i := range u.Chunks {
+		q, s := TernarizeChunk(&u.Chunks[i], rng)
+		if s == 0 || q.NNZ() == 0 {
+			continue
+		}
+		out.Chunks = append(out.Chunks, q)
+	}
+	return out
+}
+
+// RandomKIndices selects k coordinates of x uniformly at random (without
+// replacement), in ascending order — Wangni et al.'s unbiased alternative
+// to magnitude-based Top-k. The caller rescales kept values by n/k to stay
+// unbiased; Rescale does that.
+func RandomKIndices(n, k int, rng *tensor.RNG) []int32 {
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k >= n {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	// Floyd's algorithm: k uniform samples without replacement.
+	chosen := make(map[int32]bool, k)
+	for j := n - k; j < n; j++ {
+		t := int32(rng.Intn(j + 1))
+		if chosen[t] {
+			t = int32(j)
+		}
+		chosen[t] = true
+	}
+	out := make([]int32, 0, k)
+	for i := int32(0); int(i) < n; i++ {
+		if chosen[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Rescale multiplies a chunk's values by n/k so that random-k selection is
+// an unbiased estimator of the dense vector.
+func Rescale(c *sparse.Chunk, n int) {
+	if c.NNZ() == 0 {
+		return
+	}
+	scale := float32(n) / float32(c.NNZ())
+	for i := range c.Val {
+		c.Val[i] *= scale
+	}
+}

@@ -1,0 +1,162 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire format (little endian):
+//
+//	u32  magic "DGS1"
+//	uvarint chunk count
+//	per chunk:
+//	  uvarint layer
+//	  u8   flags (bit 0: dense — indices are 0..nnz-1 and omitted)
+//	  uvarint nnz
+//	  nnz × uvarint delta-encoded indices (absent when dense)
+//	  nnz × f32 values
+//
+// Delta encoding keeps index bytes small (ascending order guaranteed), so a
+// 99%-sparse update costs roughly 5 bytes per nonzero instead of 8; dense
+// chunks (the ASGD baseline's whole-model messages) cost exactly 4 bytes
+// per value so baseline traffic accounting is not inflated.
+const codecMagic = 0x44475331 // "DGS1"
+
+const flagDense = 0x01
+
+// isDenseChunk reports whether the (strictly ascending) index set is exactly
+// 0..n-1, which holds iff the first index is 0 and the last is n-1.
+func isDenseChunk(c *Chunk) bool {
+	n := len(c.Idx)
+	return n > 0 && c.Idx[0] == 0 && c.Idx[n-1] == int32(n-1)
+}
+
+// Encode serialises an update. The update must satisfy Validate (ascending
+// indices); Encode panics on malformed chunks since that is a programming
+// error, not input error.
+func Encode(u *Update) []byte {
+	// Size estimate: header + per-chunk worst case.
+	size := 4 + binary.MaxVarintLen64
+	for i := range u.Chunks {
+		size += 1 + 2*binary.MaxVarintLen64 + len(u.Chunks[i].Idx)*binary.MaxVarintLen32 + 4*len(u.Chunks[i].Val)
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf, codecMagic)
+	off := 4
+	off += binary.PutUvarint(buf[off:], uint64(len(u.Chunks)))
+	for i := range u.Chunks {
+		c := &u.Chunks[i]
+		if len(c.Idx) != len(c.Val) {
+			panic(fmt.Sprintf("sparse: encode chunk layer %d: %d idx vs %d val", c.Layer, len(c.Idx), len(c.Val)))
+		}
+		off += binary.PutUvarint(buf[off:], uint64(c.Layer))
+		dense := isDenseChunk(c)
+		if dense {
+			buf[off] = flagDense
+		} else {
+			buf[off] = 0
+		}
+		off++
+		off += binary.PutUvarint(buf[off:], uint64(len(c.Idx)))
+		if !dense {
+			prev := int32(-1)
+			for _, j := range c.Idx {
+				if j <= prev {
+					panic(fmt.Sprintf("sparse: encode chunk layer %d: indices not ascending", c.Layer))
+				}
+				off += binary.PutUvarint(buf[off:], uint64(j-prev-1))
+				prev = j
+			}
+		}
+		for _, v := range c.Val {
+			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
+			off += 4
+		}
+	}
+	return buf[:off]
+}
+
+// Decode parses a serialised update.
+func Decode(b []byte) (*Update, error) {
+	if len(b) < 4 || binary.LittleEndian.Uint32(b) != codecMagic {
+		return nil, fmt.Errorf("sparse: bad magic")
+	}
+	off := 4
+	nChunks, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return nil, fmt.Errorf("sparse: truncated chunk count")
+	}
+	off += n
+	if nChunks > uint64(len(b)) {
+		return nil, fmt.Errorf("sparse: implausible chunk count %d", nChunks)
+	}
+	u := &Update{Chunks: make([]Chunk, 0, nChunks)}
+	for ci := uint64(0); ci < nChunks; ci++ {
+		layer, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("sparse: truncated layer id in chunk %d", ci)
+		}
+		off += n
+		if off >= len(b) {
+			return nil, fmt.Errorf("sparse: truncated flags in chunk %d", ci)
+		}
+		flags := b[off]
+		off++
+		nnz, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("sparse: truncated nnz in chunk %d", ci)
+		}
+		off += n
+		if nnz > uint64(len(b)) {
+			return nil, fmt.Errorf("sparse: implausible nnz %d in chunk %d", nnz, ci)
+		}
+		c := Chunk{Layer: int(layer), Idx: make([]int32, nnz), Val: make([]float32, nnz)}
+		if flags&flagDense != 0 {
+			if nnz > math.MaxInt32 {
+				return nil, fmt.Errorf("sparse: index overflow in chunk %d", ci)
+			}
+			for i := range c.Idx {
+				c.Idx[i] = int32(i)
+			}
+		} else {
+			prev := int64(-1)
+			for i := range c.Idx {
+				gap, n := binary.Uvarint(b[off:])
+				if n <= 0 {
+					return nil, fmt.Errorf("sparse: truncated index %d in chunk %d", i, ci)
+				}
+				off += n
+				pos := prev + 1 + int64(gap)
+				if pos > math.MaxInt32 {
+					return nil, fmt.Errorf("sparse: index overflow in chunk %d", ci)
+				}
+				c.Idx[i] = int32(pos)
+				prev = pos
+			}
+		}
+		if off+4*int(nnz) > len(b) {
+			return nil, fmt.Errorf("sparse: truncated values in chunk %d", ci)
+		}
+		for i := range c.Val {
+			c.Val[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[off:]))
+			off += 4
+		}
+		u.Chunks = append(u.Chunks, c)
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("sparse: %d trailing bytes", len(b)-off)
+	}
+	return u, nil
+}
+
+// DenseBytes returns the wire size of a dense (uncompressed) model with the
+// given per-layer sizes: 4 bytes per float. Used for compression-ratio and
+// traffic accounting against the sparse encoding.
+func DenseBytes(layerSizes []int) int {
+	n := 0
+	for _, s := range layerSizes {
+		n += s
+	}
+	return 4 * n
+}

@@ -1,0 +1,44 @@
+package sparse
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the wire decoder: it must never
+// panic, and anything it accepts must re-encode to a decodable update
+// (decode–encode–decode fixpoint).
+func FuzzDecode(f *testing.F) {
+	// Seed with valid encodings and near-miss corruptions.
+	u := &Update{Chunks: []Chunk{
+		{Layer: 0, Idx: []int32{0, 3, 9}, Val: []float32{1, -2, 0.5}},
+		{Layer: 2, Idx: []int32{7}, Val: []float32{42}},
+	}}
+	valid := Encode(u)
+	f.Add(valid)
+	f.Add(Encode(&Update{}))
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x53, 0x47, 0x44}) // magic only
+	corrupted := append([]byte(nil), valid...)
+	corrupted[len(corrupted)/2] ^= 0xFF
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		u, err := Decode(b)
+		if err != nil {
+			return
+		}
+		// Round-trip stability for accepted inputs.
+		re := Encode(u)
+		u2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input failed to decode: %v", err)
+		}
+		if len(u2.Chunks) != len(u.Chunks) {
+			t.Fatalf("chunk count changed across round trip")
+		}
+		if !bytes.Equal(re, Encode(u2)) {
+			t.Fatal("encoding not a fixpoint")
+		}
+	})
+}

@@ -1,0 +1,173 @@
+// Package sparse implements Top-k gradient sparsification: per-layer
+// threshold selection (paper Algorithm 1 line 7: "thr ← R% of |r|"),
+// sparse chunk representation, and a compact binary wire codec for
+// exchanging sparse updates between workers and the parameter server.
+package sparse
+
+// KForRatio returns the number of elements to keep for a layer of n
+// elements at sparsification ratio R (keep fraction). The paper's R=1 means
+// "top 1%": ratio = 0.01. At least one element is always kept for non-empty
+// layers so progress is never fully blocked.
+func KForRatio(n int, ratio float64) int {
+	if n == 0 {
+		return 0
+	}
+	k := int(float64(n) * ratio)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// TopKIndices returns the indices of the k largest |x| values.
+// Ties are broken deterministically (lower index wins). The returned
+// indices are in ascending order. x is not modified.
+func TopKIndices(x []float32, k int) []int32 {
+	n := len(x)
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k >= n {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	// Quickselect on a scratch index slice ordered by descending |x|,
+	// breaking ties by ascending index for determinism.
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	quickselect(x, idx, k)
+	top := idx[:k]
+	sortInt32(top)
+	return top
+}
+
+// absOf returns |x[i]| without branching on NaN (NaN sorts last).
+func absOf(x []float32, i int32) float32 {
+	v := x[i]
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// less reports whether index a should come before b in descending-|x| order
+// with ascending-index tiebreak.
+func less(x []float32, a, b int32) bool {
+	av, bv := absOf(x, a), absOf(x, b)
+	if av != bv {
+		return av > bv
+	}
+	return a < b
+}
+
+// quickselect partially orders idx so idx[:k] holds the top-k positions.
+func quickselect(x []float32, idx []int32, k int) {
+	lo, hi := 0, len(idx)-1
+	for lo < hi {
+		p := partition(x, idx, lo, hi)
+		switch {
+		case p == k-1:
+			return
+		case p < k-1:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+}
+
+func partition(x []float32, idx []int32, lo, hi int) int {
+	// Median-of-three pivot to avoid quadratic behaviour on sorted data.
+	mid := lo + (hi-lo)/2
+	if less(x, idx[mid], idx[lo]) {
+		idx[lo], idx[mid] = idx[mid], idx[lo]
+	}
+	if less(x, idx[hi], idx[lo]) {
+		idx[lo], idx[hi] = idx[hi], idx[lo]
+	}
+	if less(x, idx[hi], idx[mid]) {
+		idx[mid], idx[hi] = idx[hi], idx[mid]
+	}
+	pivot := idx[mid]
+	idx[mid], idx[hi] = idx[hi], idx[mid]
+	store := lo
+	for i := lo; i < hi; i++ {
+		if less(x, idx[i], pivot) {
+			idx[i], idx[store] = idx[store], idx[i]
+			store++
+		}
+	}
+	idx[store], idx[hi] = idx[hi], idx[store]
+	return store
+}
+
+func sortInt32(a []int32) {
+	// Insertion sort is fine: k is small relative to n and nearly unordered.
+	// Fall back to a simple quicksort for larger k.
+	if len(a) < 32 {
+		for i := 1; i < len(a); i++ {
+			v := a[i]
+			j := i - 1
+			for j >= 0 && a[j] > v {
+				a[j+1] = a[j]
+				j--
+			}
+			a[j+1] = v
+		}
+		return
+	}
+	qsortInt32(a, 0, len(a)-1)
+}
+
+func qsortInt32(a []int32, lo, hi int) {
+	for lo < hi {
+		p := a[lo+(hi-lo)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if j-lo < hi-i {
+			qsortInt32(a, lo, j)
+			lo = i
+		} else {
+			qsortInt32(a, i, hi)
+			hi = j
+		}
+	}
+}
+
+// Threshold returns the k-th largest absolute value of x (the paper's thr).
+// It panics if k is out of range.
+func Threshold(x []float32, k int) float32 {
+	idx := TopKIndices(x, k)
+	if len(idx) == 0 {
+		return 0
+	}
+	// The smallest |value| among the selected set is the threshold.
+	minAbs := absOf(x, idx[0])
+	for _, i := range idx[1:] {
+		if a := absOf(x, i); a < minAbs {
+			minAbs = a
+		}
+	}
+	return minAbs
+}

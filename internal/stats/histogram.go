@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Histogram accumulates integer-valued observations (e.g. per-push
+// staleness) and renders counts, quantiles, and an ASCII bar chart.
+// It is safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	counts map[int64]uint64
+	n      uint64
+	sum    float64
+	max    int64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: map[int64]uint64{}}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	h.counts[v]++
+	h.n++
+	h.sum += float64(v)
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using the nearest-rank
+// method, or 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank == 0 {
+		rank = 1
+	}
+	keys := make([]int64, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var cum uint64
+	for _, k := range keys {
+		cum += h.counts[k]
+		if cum >= rank {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// String renders up to 16 buckets as horizontal bars.
+func (h *Histogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return "(empty histogram)\n"
+	}
+	// Bucket the range [0, max] into at most 16 equal spans.
+	buckets := 16
+	span := (h.max + int64(buckets)) / int64(buckets)
+	if span < 1 {
+		span = 1
+	}
+	agg := map[int64]uint64{}
+	var maxCount uint64
+	for v, c := range h.counts {
+		b := v / span
+		agg[b] += c
+		if agg[b] > maxCount {
+			maxCount = agg[b]
+		}
+	}
+	keys := make([]int64, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var b strings.Builder
+	for _, k := range keys {
+		barLen := int(float64(agg[k]) / float64(maxCount) * 40)
+		fmt.Fprintf(&b, "%6d-%-6d |%s %d\n", k*span, (k+1)*span-1, strings.Repeat("#", barLen), agg[k])
+	}
+	return b.String()
+}

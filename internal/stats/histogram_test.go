@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 2, 2, 3, 3, 3} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Mean(); got != 14.0/6 {
+		t.Fatalf("mean %v", got)
+	}
+	if h.Max() != 3 {
+		t.Fatalf("max %d", h.Max())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	cases := map[float64]int64{0.5: 50, 0.9: 90, 0.99: 99, 1: 100, 0: 1}
+	for q, want := range cases {
+		if got := h.Quantile(q); got != want {
+			t.Errorf("q%.2f = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must return zeros")
+	}
+	if h.String() != "(empty histogram)\n" {
+		t.Fatalf("empty render %q", h.String())
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 50; i++ {
+		h.Observe(0)
+	}
+	h.Observe(100)
+	out := h.String()
+	if !strings.Contains(out, "#") {
+		t.Fatal("render must contain bars")
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 2 {
+		t.Fatal("expected at least two buckets")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(int64(i))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("concurrent count %d, want 8000", h.Count())
+	}
+}
+
+func TestHistogramQuantileClamping(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(5)
+	if h.Quantile(-1) != 5 || h.Quantile(2) != 5 {
+		t.Fatal("out-of-range quantiles must clamp")
+	}
+}

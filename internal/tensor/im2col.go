@@ -1,0 +1,83 @@
+package tensor
+
+// Im2Col expands an input image (channels c, height h, width w, row-major
+// CHW layout) into a matrix of patch columns for convolution-as-GEMM.
+//
+// The output buffer dst must have room for (c*kh*kw) * (oh*ow) elements and
+// is laid out so that row r = (ch*kh+ki)*kw+kj and column q = oy*ow+ox holds
+// input value (ch, oy*stride+ki-pad, ox*stride+kj-pad), with zeros outside
+// the image. oh and ow are the output spatial dimensions.
+func Im2Col(src []float32, c, h, w, kh, kw, stride, pad, oh, ow int, dst []float32) {
+	cols := oh * ow
+	if len(dst) < c*kh*kw*cols {
+		panic("tensor: Im2Col dst too small")
+	}
+	for ch := 0; ch < c; ch++ {
+		img := src[ch*h*w:]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				row := dst[((ch*kh+ki)*kw+kj)*cols:]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ki - pad
+					base := oy * ow
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							row[base+ox] = 0
+						}
+						continue
+					}
+					irow := img[iy*w : iy*w+w]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kj - pad
+						if ix < 0 || ix >= w {
+							row[base+ox] = 0
+						} else {
+							row[base+ox] = irow[ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters the patch-column matrix back
+// into an image, accumulating overlapping contributions. dst must hold
+// c*h*w elements and is zeroed first.
+func Col2Im(src []float32, c, h, w, kh, kw, stride, pad, oh, ow int, dst []float32) {
+	if len(dst) < c*h*w {
+		panic("tensor: Col2Im dst too small")
+	}
+	for i := range dst[:c*h*w] {
+		dst[i] = 0
+	}
+	cols := oh * ow
+	for ch := 0; ch < c; ch++ {
+		img := dst[ch*h*w:]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				row := src[((ch*kh+ki)*kw+kj)*cols:]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ki - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					base := oy * ow
+					irow := img[iy*w : iy*w+w]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kj - pad
+						if ix >= 0 && ix < w {
+							irow[ix] += row[base+ox]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// ConvOutSize returns the output spatial size for input size n, kernel k,
+// stride s and padding p.
+func ConvOutSize(n, k, s, p int) int {
+	return (n+2*p-k)/s + 1
+}

@@ -1,0 +1,85 @@
+package trainer
+
+import (
+	"testing"
+
+	"dgs/internal/ps"
+	"dgs/internal/sparse"
+)
+
+func TestHandlerDecodesAndResponds(t *testing.T) {
+	server := ps.NewServer(ps.Config{LayerSizes: []int{8}, Workers: 1})
+	h := Handler(server)
+
+	// A valid sparse push gets a decodable difference back.
+	g := sparse.Update{Chunks: []sparse.Chunk{{Layer: 0, Idx: []int32{2}, Val: []float32{1.5}}}}
+	resp, err := h(0, sparse.Encode(&g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	G, err := sparse.Decode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if G.NNZ() != 1 || G.Chunks[0].Idx[0] != 2 || G.Chunks[0].Val[0] != -1.5 {
+		t.Fatalf("difference wrong: %+v", G)
+	}
+}
+
+func TestHandlerEmptyPayloadIsEmptyPush(t *testing.T) {
+	server := ps.NewServer(ps.Config{LayerSizes: []int{4}, Workers: 1})
+	h := Handler(server)
+	resp, err := h(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	G, err := sparse.Decode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if G.NNZ() != 0 {
+		t.Fatalf("fresh server should have nothing to send, got %d", G.NNZ())
+	}
+	if server.Timestamp() != 1 {
+		t.Fatal("empty push must still advance the clock")
+	}
+}
+
+func TestHandlerRejectsGarbage(t *testing.T) {
+	server := ps.NewServer(ps.Config{LayerSizes: []int{4}, Workers: 1})
+	h := Handler(server)
+	if _, err := h(0, []byte("definitely not an update")); err == nil {
+		t.Fatal("garbage payload must be rejected")
+	}
+	if server.Timestamp() != 0 {
+		t.Fatal("rejected payload must not advance the server")
+	}
+}
+
+func TestHandlerWorksWithShardedServer(t *testing.T) {
+	shard := ps.NewShardedServer(ps.Config{LayerSizes: []int{6, 6}, Workers: 1}, 2)
+	h := Handler(shard)
+	g := sparse.Update{Chunks: []sparse.Chunk{
+		{Layer: 0, Idx: []int32{0}, Val: []float32{1}},
+		{Layer: 1, Idx: []int32{5}, Val: []float32{2}},
+	}}
+	resp, err := h(0, sparse.Encode(&g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	G, err := sparse.Decode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := G.Validate([]int{6, 6}); err != nil {
+		t.Fatalf("sharded response invalid: %v", err)
+	}
+	// Both layers' differences must come back with global layer ids.
+	seen := map[int]bool{}
+	for _, c := range G.Chunks {
+		seen[c.Layer] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("expected differences for both layers, got %+v", G.Chunks)
+	}
+}

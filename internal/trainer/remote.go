@@ -1,0 +1,64 @@
+package trainer
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dgs/internal/stats"
+	"dgs/internal/tensor"
+	"dgs/internal/transport"
+)
+
+// RunWorkerLoop runs a single worker's training loop against an external
+// transport — the multi-process deployment mode, where the parameter server
+// lives in another process (cmd/dgs-server) and each cmd/dgs-worker process
+// calls this. The worker processes its 1/Workers share of the total
+// iteration budget. Worker 0 evaluates and reports accuracy; other workers
+// report loss only.
+func RunWorkerLoop(cfg Config, id int, tr transport.Transport) (*Result, error) {
+	if err := cfg.normalise(); err != nil {
+		return nil, err
+	}
+	if id < 0 || id >= cfg.Workers {
+		return nil, fmt.Errorf("trainer: worker id %d out of range [0,%d)", id, cfg.Workers)
+	}
+	totalIters := cfg.Epochs * cfg.Dataset.NumTrain() / cfg.BatchSize
+	share := totalIters / cfg.Workers
+	if share < 1 {
+		share = 1
+	}
+
+	res := &Result{
+		Method:   cfg.Method,
+		Loss:     stats.NewSeries(fmt.Sprintf("%s-w%d-loss", cfg.Method, id)),
+		Accuracy: stats.NewSeries(fmt.Sprintf("%s-w%d-acc", cfg.Method, id)),
+	}
+	var iterCounter, computeNanos atomic.Int64
+	// The remote worker paces its own share; the LR schedule position is
+	// approximated by (local iteration × Workers), which matches the global
+	// counter in expectation.
+	localLR := newSchedule(&cfg, totalIters)
+	w := worker{
+		cfg: &cfg, id: id, sizes: nil, tr: tr,
+		totalIters: share, samplesPerEpoch: float64(cfg.Dataset.NumTrain()) / float64(cfg.Workers),
+		iterCounter: &iterCounter, computeNanos: &computeNanos,
+		lr:  func(iter int64) float32 { return localLR(iter * int64(cfg.Workers)) },
+		res: res,
+	}
+	proto := cfg.BuildModel(tensor.NewRNG(cfg.Seed))
+	w.sizes = proto.LayerSizes()
+
+	model, err := w.run()
+	if err != nil {
+		return nil, err
+	}
+	res.Iterations = share
+	if id == 0 {
+		if err := syncModel(tr, id, model); err != nil {
+			return nil, err
+		}
+		res.FinalAccuracy = evaluate(&cfg, model)
+	}
+	res.ComputePerIter = float64(computeNanos.Load()) / 1e9 / float64(maxInt(share, 1))
+	return res, nil
+}

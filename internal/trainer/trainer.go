@@ -1,0 +1,560 @@
+// Package trainer orchestrates full asynchronous distributed training runs:
+// it builds the model replicas, the DGS parameter server, and N concurrent
+// worker goroutines, wires them through a transport, and records the
+// metrics (loss curves, accuracy, traffic, staleness) that the paper's
+// tables and figures report.
+package trainer
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dgs/internal/data"
+	"dgs/internal/nn"
+	"dgs/internal/optim"
+	"dgs/internal/ps"
+	"dgs/internal/quant"
+	"dgs/internal/sparse"
+	"dgs/internal/stats"
+	"dgs/internal/tensor"
+	"dgs/internal/transport"
+)
+
+// Method selects the training algorithm under comparison (paper Table 5).
+type Method int
+
+// The five methods evaluated in the paper.
+const (
+	// MSGD is single-node momentum SGD, the accuracy baseline.
+	MSGD Method = iota
+	// ASGD is vanilla asynchronous SGD: dense gradients up, whole model down.
+	ASGD
+	// GDAsync is Gradient Dropping with model-difference downward
+	// compression ("DGS without SAMomentum").
+	GDAsync
+	// DGCAsync is Deep Gradient Compression (momentum correction + factor
+	// masking) over the same dual-way path.
+	DGCAsync
+	// DGS is the paper's method: dual-way sparsification + SAMomentum.
+	DGS
+)
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	switch m {
+	case MSGD:
+		return "MSGD"
+	case ASGD:
+		return "ASGD"
+	case GDAsync:
+		return "GD-async"
+	case DGCAsync:
+		return "DGC-async"
+	case DGS:
+		return "DGS"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// AllMethods lists the methods in the paper's table order.
+var AllMethods = []Method{MSGD, ASGD, GDAsync, DGCAsync, DGS}
+
+// Config describes one training run.
+type Config struct {
+	// Method is the algorithm to run. MSGD forces Workers=1.
+	Method Method
+	// Workers is the number of asynchronous workers.
+	Workers int
+	// BatchSize is the per-worker minibatch size.
+	BatchSize int
+	// Epochs is the number of passes over the training set (total across
+	// workers, as in data-parallel training).
+	Epochs int
+	// LR is the initial learning rate.
+	LR float32
+	// LRDecayAt lists epoch indices at which LR is multiplied by
+	// LRDecayFactor (paper: ×0.1 at epochs 30 and 40 of 50).
+	LRDecayAt []int
+	// LRDecayFactor defaults to 0.1 when zero.
+	LRDecayFactor float32
+	// Momentum is m for MSGD/DGC/DGS (paper: 0.7, or 0.45/0.3 at scale).
+	Momentum float32
+	// KeepRatio is the upward sparsification keep fraction (0.01 = top 1%).
+	KeepRatio float64
+	// Secondary enables downward secondary compression with SecondaryRatio.
+	Secondary      bool
+	SecondaryRatio float64
+	// GradClip, when positive, clips each iteration's gradient to this
+	// global L2 norm before the optimizer (DGC uses clipping).
+	GradClip float32
+	// Ternary additionally quantizes the sparse upward values to
+	// {−s, 0, +s} with unbiased stochastic rounding — the TernGrad
+	// combination the paper's conclusion proposes as future work.
+	Ternary bool
+	// WeightDecay, when positive, adds L2 regularisation: the gradient
+	// becomes ∇ + wd·θ before the update rule (standard for ResNet-style
+	// training).
+	WeightDecay float32
+	// WarmupFrac, when positive, enables DGC-style warm-up over that
+	// fraction of training: the learning rate ramps linearly and the keep
+	// ratio anneals from WarmupKeepStart down to KeepRatio.
+	WarmupFrac float64
+	// WarmupKeepStart is the initial keep ratio during warm-up
+	// (default 0.25 when WarmupFrac is set).
+	WarmupKeepStart float64
+	// Seed drives model init, data order and jitter; same seed + same
+	// method is reproducible up to goroutine interleaving.
+	Seed uint64
+	// BuildModel constructs the network. It is called once per worker plus
+	// once for geometry discovery, always with an RNG seeded identically so
+	// every replica starts from the same θ0.
+	BuildModel func(rng *tensor.RNG) *nn.Model
+	// Dataset supplies examples.
+	Dataset data.Dataset
+	// EvalEveryEpochs controls accuracy evaluation frequency (default 1).
+	EvalEveryEpochs int
+	// EvalLimit caps test examples per evaluation (0 = all).
+	EvalLimit int
+	// TCPAddr, when non-empty (e.g. "127.0.0.1:0"), runs the exchange over
+	// real TCP sockets: the run starts an in-process TCP parameter server
+	// and every worker dials its own connection. Empty means in-process
+	// loopback.
+	TCPAddr string
+	// Shards, when > 1, partitions the parameter server into that many
+	// independently-locked shards (Li et al.'s PS scaling architecture).
+	Shards int
+}
+
+// Result captures everything a run produced.
+type Result struct {
+	Method Method
+	// FinalAccuracy is top-1 accuracy at the end of training, measured on
+	// worker 0's replica after a final synchronisation with the server.
+	FinalAccuracy float64
+	// Loss is training loss vs epoch (x = fractional epoch).
+	Loss *stats.Series
+	// Accuracy is test accuracy vs epoch.
+	Accuracy *stats.Series
+	// Iterations is the total number of worker pushes.
+	Iterations int
+	// BytesUp/BytesDown are total encoded wire bytes (training only,
+	// excluding the final evaluation sync).
+	BytesUp, BytesDown int64
+	// AvgUpBytes/AvgDownBytes are mean bytes per iteration, used to drive
+	// the network simulator for the wall-clock experiments.
+	AvgUpBytes, AvgDownBytes float64
+	// Server reports staleness statistics.
+	Server ps.Stats
+	// ServerStateBytes and WorkerStateBytes report memory (paper §5.6.2).
+	ServerStateBytes, WorkerStateBytes int
+	// WallTime is the real elapsed time of the run.
+	WallTime time.Duration
+	// ComputePerIter is the mean measured forward+backward seconds per
+	// iteration (feeds the network simulator).
+	ComputePerIter float64
+}
+
+// normalise fills defaults and validates.
+func (c *Config) normalise() error {
+	if c.Method == MSGD {
+		c.Workers = 1
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("trainer: workers %d < 1", c.Workers)
+	}
+	if c.BatchSize < 1 || c.Epochs < 1 {
+		return fmt.Errorf("trainer: batch %d and epochs %d must be positive", c.BatchSize, c.Epochs)
+	}
+	if c.BuildModel == nil || c.Dataset == nil {
+		return fmt.Errorf("trainer: BuildModel and Dataset are required")
+	}
+	if c.LRDecayFactor == 0 {
+		c.LRDecayFactor = 0.1
+	}
+	if c.EvalEveryEpochs == 0 {
+		c.EvalEveryEpochs = 1
+	}
+	if c.WarmupFrac > 0 && c.WarmupKeepStart == 0 {
+		c.WarmupKeepStart = 0.25
+	}
+	if c.WarmupFrac < 0 || c.WarmupFrac > 1 {
+		return fmt.Errorf("trainer: warmup fraction %v out of [0,1]", c.WarmupFrac)
+	}
+	switch c.Method {
+	case GDAsync, DGCAsync, DGS:
+		if c.KeepRatio <= 0 || c.KeepRatio > 1 {
+			return fmt.Errorf("trainer: keep ratio %v out of (0,1]", c.KeepRatio)
+		}
+	}
+	switch c.Method {
+	case MSGD, DGCAsync, DGS:
+		if c.Momentum <= 0 || c.Momentum >= 1 {
+			return fmt.Errorf("trainer: momentum %v out of (0,1) for %s", c.Momentum, c.Method)
+		}
+	}
+	return nil
+}
+
+// buildOptimizer returns the worker update rule for the method.
+func buildOptimizer(cfg *Config, sizes []int) optim.WorkerOptimizer {
+	switch cfg.Method {
+	case MSGD:
+		return optim.NewDenseMomentum(sizes, cfg.Momentum)
+	case ASGD:
+		return optim.NewDenseSGD()
+	case GDAsync:
+		return optim.NewGradientDropping(sizes, cfg.KeepRatio)
+	case DGCAsync:
+		return optim.NewDGC(sizes, cfg.Momentum, cfg.KeepRatio)
+	case DGS:
+		return optim.NewSAMomentum(sizes, cfg.Momentum, cfg.KeepRatio)
+	default:
+		panic(fmt.Sprintf("trainer: unknown method %v", cfg.Method))
+	}
+}
+
+// serverConfig returns the ps.Config for the method.
+func serverConfig(cfg *Config, sizes []int) ps.Config {
+	sc := ps.Config{LayerSizes: sizes, Workers: cfg.Workers}
+	switch cfg.Method {
+	case ASGD:
+		// Vanilla ASGD downloads the whole model.
+		sc.DenseDownward = true
+	case MSGD:
+		// Single node: downward content is irrelevant; keep it sparse.
+	default:
+		sc.Secondary = cfg.Secondary
+		sc.SecondaryRatio = cfg.SecondaryRatio
+	}
+	return sc
+}
+
+// Handler builds the server-side transport handler: decode → Push → encode.
+// It is shared by the in-process loopback and the TCP server binary, and
+// accepts either a plain Server or a ShardedServer.
+func Handler(server ps.Pusher) transport.Handler {
+	return func(worker int, payload []byte) ([]byte, error) {
+		var g *sparse.Update
+		if len(payload) == 0 {
+			g = &sparse.Update{}
+		} else {
+			var err error
+			g, err = sparse.Decode(payload)
+			if err != nil {
+				return nil, fmt.Errorf("trainer: decode push from worker %d: %w", worker, err)
+			}
+		}
+		G, _ := server.Push(worker, g)
+		return sparse.Encode(&G), nil
+	}
+}
+
+// Run executes a full training run and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalise(); err != nil {
+		return nil, err
+	}
+
+	// Build a throwaway model to learn the layer geometry.
+	proto := cfg.BuildModel(tensor.NewRNG(cfg.Seed))
+	sizes := proto.LayerSizes()
+
+	var server ps.Pusher
+	if cfg.Shards > 1 {
+		server = ps.NewShardedServer(serverConfig(&cfg, sizes), cfg.Shards)
+	} else {
+		server = ps.NewServer(serverConfig(&cfg, sizes))
+	}
+	handler := Handler(server)
+
+	// makeTransport hands each worker (and the final sync) its own handle;
+	// traffic() reads the server-side byte counters afterwards.
+	var makeTransport func() (transport.Transport, error)
+	var traffic *transport.Traffic
+	if cfg.TCPAddr != "" {
+		srv, err := transport.ListenTCP(cfg.TCPAddr, handler)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		traffic = srv.Traffic
+		makeTransport = func() (transport.Transport, error) { return transport.DialTCP(srv.Addr()) }
+	} else {
+		loop := transport.NewLoopback(handler)
+		traffic = loop.Traffic
+		makeTransport = func() (transport.Transport, error) { return loop, nil }
+	}
+
+	totalIters := cfg.Epochs * cfg.Dataset.NumTrain() / cfg.BatchSize
+	if totalIters < 1 {
+		totalIters = 1
+	}
+	samplesPerEpoch := float64(cfg.Dataset.NumTrain())
+
+	res := &Result{
+		Method:   cfg.Method,
+		Loss:     stats.NewSeries(cfg.Method.String() + "-loss"),
+		Accuracy: stats.NewSeries(cfg.Method.String() + "-acc"),
+	}
+
+	var iterCounter atomic.Int64
+	var computeNanos atomic.Int64
+	lr := newSchedule(&cfg, totalIters)
+	models := make([]*nn.Model, cfg.Workers)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers)
+	start := time.Now()
+	for k := 0; k < cfg.Workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			tr, err := makeTransport()
+			if err != nil {
+				errCh <- fmt.Errorf("trainer: worker %d transport: %w", k, err)
+				return
+			}
+			defer tr.Close()
+			w := worker{
+				cfg: &cfg, id: k, sizes: sizes, tr: tr,
+				totalIters: totalIters, samplesPerEpoch: samplesPerEpoch,
+				iterCounter: &iterCounter, computeNanos: &computeNanos,
+				lr: lr, res: res,
+			}
+			m, err := w.run()
+			models[k] = m
+			if err != nil {
+				errCh <- err
+			}
+		}(k)
+	}
+	wg.Wait()
+	res.WallTime = time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+
+	res.Iterations = totalIters
+	res.BytesUp = traffic.Up()
+	res.BytesDown = traffic.Down()
+	if n := traffic.Exchanges(); n > 0 {
+		res.AvgUpBytes = float64(res.BytesUp) / float64(n)
+		res.AvgDownBytes = float64(res.BytesDown) / float64(n)
+	}
+	res.Server = server.Stats()
+	res.ServerStateBytes = server.StateBytes()
+	res.ComputePerIter = float64(computeNanos.Load()) / 1e9 / float64(maxInt(totalIters, 1))
+
+	// Final accuracy: sync worker 0's replica with the server (empty pushes
+	// drain any secondary-compression remainder), then evaluate. Traffic
+	// counters above were captured before this sync.
+	syncTr, err := makeTransport()
+	if err != nil {
+		return nil, err
+	}
+	defer syncTr.Close()
+	if err := syncModel(syncTr, 0, models[0]); err != nil {
+		return nil, err
+	}
+	res.FinalAccuracy = evaluate(&cfg, models[0])
+	res.Accuracy.Add(float64(cfg.Epochs), res.FinalAccuracy)
+	return res, nil
+}
+
+// syncModel exchanges empty updates until the downward difference drains,
+// leaving the model equal to the server model.
+func syncModel(tr transport.Transport, id int, model *nn.Model) error {
+	params := model.Params()
+	empty := sparse.Encode(&sparse.Update{})
+	for i := 0; i < 256; i++ {
+		resp, err := tr.Exchange(id, empty)
+		if err != nil {
+			return fmt.Errorf("trainer: final sync: %w", err)
+		}
+		G, err := sparse.Decode(resp)
+		if err != nil {
+			return fmt.Errorf("trainer: final sync decode: %w", err)
+		}
+		// Dense-downward servers always answer with every coordinate, so
+		// "drained" means all-zero values, not an empty update.
+		allZero := true
+		for ci := range G.Chunks {
+			for _, v := range G.Chunks[ci].Val {
+				if v != 0 {
+					allZero = false
+					break
+				}
+			}
+			if !allZero {
+				break
+			}
+		}
+		if allZero {
+			return nil
+		}
+		for ci := range G.Chunks {
+			c := &G.Chunks[ci]
+			sparse.Scatter(c, params[c.Layer].Value.Data, 1)
+		}
+	}
+	return nil // bounded drain: good enough if a remainder persists
+}
+
+// newSchedule returns the step-decay learning-rate schedule as a function of
+// the global iteration.
+func newSchedule(cfg *Config, totalIters int) func(int64) float32 {
+	itersPerEpoch := float64(totalIters) / float64(cfg.Epochs)
+	decays := append([]int(nil), cfg.LRDecayAt...)
+	factor := cfg.LRDecayFactor
+	base := cfg.LR
+	return func(iter int64) float32 {
+		epoch := float64(iter) / itersPerEpoch
+		lr := base
+		for _, d := range decays {
+			if epoch >= float64(d) {
+				lr *= factor
+			}
+		}
+		return lr
+	}
+}
+
+// worker bundles the state of one training goroutine.
+type worker struct {
+	cfg             *Config
+	id              int
+	sizes           []int
+	tr              transport.Transport
+	totalIters      int
+	samplesPerEpoch float64
+	iterCounter     *atomic.Int64
+	computeNanos    *atomic.Int64
+	lr              func(int64) float32
+	res             *Result
+}
+
+// run is the worker training loop. It returns its model replica so the
+// coordinator can evaluate the final state.
+func (w *worker) run() (*nn.Model, error) {
+	cfg := w.cfg
+	// Identical init across replicas: every worker seeds its model RNG the
+	// same way, so all start from θ0 (the PS tracks only differences).
+	model := cfg.BuildModel(tensor.NewRNG(cfg.Seed))
+	opt := buildOptimizer(cfg, w.sizes)
+	if w.id == 0 {
+		w.res.WorkerStateBytes = opt.StateBytes()
+	}
+	loader := data.NewLoader(cfg.Dataset, cfg.BatchSize, cfg.Seed+uint64(1000+w.id), true)
+	qrng := tensor.NewRNG(cfg.Seed + uint64(7000+w.id))
+
+	nextEval := float64(cfg.EvalEveryEpochs)
+	params := model.Params()
+
+	for {
+		iter := w.iterCounter.Add(1) - 1
+		if iter >= int64(w.totalIters) {
+			return model, nil
+		}
+		batch := loader.Next()
+
+		t0 := time.Now()
+		model.ZeroGrad()
+		logits := model.Forward(batch.X, true)
+		loss, g := nn.SoftmaxCrossEntropy(logits, batch.Labels)
+		model.Backward(g)
+		w.computeNanos.Add(time.Since(t0).Nanoseconds())
+
+		grads := model.Gradients()
+		if cfg.WeightDecay > 0 {
+			for i, g := range grads {
+				tensor.Axpy(cfg.WeightDecay, params[i].Value.Data, g)
+			}
+		}
+		if cfg.GradClip > 0 {
+			clipGlobalNorm(grads, cfg.GradClip)
+		}
+		stepLR := w.lr(iter)
+		if cfg.WarmupFrac > 0 {
+			progress := float64(iter) / float64(w.totalIters)
+			stepLR *= float32(optim.LRWarmup(progress, cfg.WarmupFrac))
+			if rs, ok := opt.(optim.RatioSetter); ok {
+				rs.SetKeepRatio(optim.SparsityWarmup(progress, cfg.WarmupFrac, cfg.WarmupKeepStart, cfg.KeepRatio))
+			}
+		}
+		upd := opt.Prepare(grads, stepLR)
+		if cfg.Ternary {
+			upd = quant.TernarizeUpdate(&upd, qrng)
+		}
+		payload := sparse.Encode(&upd)
+
+		respBytes, err := w.tr.Exchange(w.id, payload)
+		if err != nil {
+			return model, fmt.Errorf("trainer: worker %d exchange: %w", w.id, err)
+		}
+		G, err := sparse.Decode(respBytes)
+		if err != nil {
+			return model, fmt.Errorf("trainer: worker %d decode response: %w", w.id, err)
+		}
+		for ci := range G.Chunks {
+			c := &G.Chunks[ci]
+			sparse.Scatter(c, params[c.Layer].Value.Data, 1)
+		}
+
+		epoch := float64(iter+1) * float64(cfg.BatchSize) / w.samplesPerEpoch
+		w.res.Loss.Add(epoch, loss)
+
+		// Worker 0 owns periodic evaluation. It runs between its own
+		// iterations on its own replica (which tracks the server model),
+		// so no synchronisation with other workers is needed.
+		if w.id == 0 && epoch >= nextEval {
+			acc := evaluate(cfg, model)
+			w.res.Accuracy.Add(epoch, acc)
+			for epoch >= nextEval {
+				nextEval += float64(cfg.EvalEveryEpochs)
+			}
+		}
+	}
+}
+
+// evaluate runs test-set accuracy on the given model (eval mode).
+func evaluate(cfg *Config, model *nn.Model) float64 {
+	classes := cfg.Dataset.Classes()
+	return data.Evaluate(cfg.Dataset, 64, cfg.EvalLimit, func(x *tensor.Tensor) []int {
+		logits := model.Forward(x, false)
+		preds := make([]int, x.Dim(0))
+		for i := range preds {
+			preds[i] = tensor.ArgMax(logits.Data[i*classes : (i+1)*classes])
+		}
+		return preds
+	})
+}
+
+// clipGlobalNorm scales all gradients so their joint L2 norm is at most c.
+func clipGlobalNorm(grads [][]float32, c float32) {
+	var sq float64
+	for _, g := range grads {
+		for _, v := range g {
+			sq += float64(v) * float64(v)
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= float64(c) || norm == 0 {
+		return
+	}
+	scale := c / float32(norm)
+	for _, g := range grads {
+		tensor.Scale(scale, g)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+)
+
+// Reconnecting wraps a dial function and transparently re-establishes the
+// connection when an exchange fails — workers on flaky links (the paper's
+// mobile/wireless motivation) retry instead of aborting training.
+//
+// Semantics: an exchange is retried as a whole. The DGS server is idempotent
+// per payload only in the sense that a *re-sent* update is re-applied, so
+// the wrapper retries only when the failure happened before any response
+// byte arrived (the underlying TCPClient fails the whole Exchange in that
+// case); a torn response surfaces as an error to the caller after the
+// retry budget is exhausted.
+type Reconnecting struct {
+	// Dial establishes a fresh connection.
+	Dial func() (Transport, error)
+	// MaxRetries bounds reconnect attempts per exchange (default 3).
+	MaxRetries int
+	// Backoff is the base delay between attempts, doubled each retry
+	// (default 50 ms).
+	Backoff time.Duration
+
+	current Transport
+}
+
+// NewReconnecting wraps a dialer.
+func NewReconnecting(dial func() (Transport, error)) *Reconnecting {
+	return &Reconnecting{Dial: dial, MaxRetries: 3, Backoff: 50 * time.Millisecond}
+}
+
+// Exchange implements Transport with reconnect-and-retry.
+func (r *Reconnecting) Exchange(worker int, payload []byte) ([]byte, error) {
+	var lastErr error
+	backoff := r.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	retries := r.MaxRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	for attempt := 0; attempt <= retries; attempt++ {
+		if r.current == nil {
+			t, err := r.Dial()
+			if err != nil {
+				lastErr = err
+				time.Sleep(backoff)
+				backoff *= 2
+				continue
+			}
+			r.current = t
+		}
+		resp, err := r.current.Exchange(worker, payload)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		r.current.Close()
+		r.current = nil
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	return nil, fmt.Errorf("transport: exchange failed after %d attempts: %w", retries+1, lastErr)
+}
+
+// Close releases the current connection, if any.
+func (r *Reconnecting) Close() error {
+	if r.current != nil {
+		err := r.current.Close()
+		r.current = nil
+		return err
+	}
+	return nil
+}

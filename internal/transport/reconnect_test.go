@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flaky is a Transport that fails the first n exchanges.
+type flaky struct {
+	failuresLeft *atomic.Int64
+	closed       bool
+}
+
+func (f *flaky) Exchange(worker int, payload []byte) ([]byte, error) {
+	if f.failuresLeft.Add(-1) >= 0 {
+		return nil, errors.New("link dropped")
+	}
+	return append([]byte{byte(worker)}, payload...), nil
+}
+
+func (f *flaky) Close() error {
+	f.closed = true
+	return nil
+}
+
+func TestReconnectingRetriesThroughFailures(t *testing.T) {
+	var failures atomic.Int64
+	failures.Store(2)
+	var dials int
+	r := NewReconnecting(func() (Transport, error) {
+		dials++
+		return &flaky{failuresLeft: &failures}, nil
+	})
+	r.Backoff = time.Millisecond
+	resp, err := r.Exchange(3, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "\x03x" {
+		t.Fatalf("resp %q", resp)
+	}
+	if dials != 3 {
+		t.Fatalf("dialed %d times, want 3 (two failures then success)", dials)
+	}
+}
+
+func TestReconnectingGivesUpAfterBudget(t *testing.T) {
+	var failures atomic.Int64
+	failures.Store(1000)
+	r := NewReconnecting(func() (Transport, error) {
+		return &flaky{failuresLeft: &failures}, nil
+	})
+	r.Backoff = time.Microsecond
+	r.MaxRetries = 2
+	if _, err := r.Exchange(0, nil); err == nil {
+		t.Fatal("must give up after the retry budget")
+	}
+}
+
+func TestReconnectingDialFailures(t *testing.T) {
+	attempts := 0
+	r := NewReconnecting(func() (Transport, error) {
+		attempts++
+		if attempts < 3 {
+			return nil, errors.New("refused")
+		}
+		var ok atomic.Int64
+		return &flaky{failuresLeft: &ok}, nil
+	})
+	r.Backoff = time.Microsecond
+	resp, err := r.Exchange(1, []byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "\x01y" {
+		t.Fatalf("resp %q", resp)
+	}
+}
+
+// Real failure injection: kill the TCP server mid-training, restart it on
+// the same port, and verify the reconnecting client carries on.
+func TestReconnectingSurvivesServerRestart(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	r := NewReconnecting(func() (Transport, error) { return DialTCP(addr) })
+	r.Backoff = 10 * time.Millisecond
+	r.MaxRetries = 10
+	defer r.Close()
+
+	if _, err := r.Exchange(0, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	// Kill and restart the server on the same address.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := ListenTCP(addr, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	resp, err := r.Exchange(0, []byte("after"))
+	if err != nil {
+		t.Fatalf("exchange after restart: %v", err)
+	}
+	if string(resp[1:]) != "after" {
+		t.Fatalf("resp %q", resp)
+	}
+}

@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Wire framing (little endian):
+//
+//	request:  u32 payload length | u32 worker id | payload
+//	response: u32 payload length | payload
+//
+// maxFrame bounds allocations against corrupt or hostile length prefixes.
+const maxFrame = 1 << 30
+
+// TCPServer accepts worker connections and dispatches frames to a Handler.
+type TCPServer struct {
+	H        Handler
+	Traffic  *Traffic
+	listener net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenTCP starts a server on addr (e.g. "127.0.0.1:0") and begins
+// accepting connections in the background.
+func ListenTCP(addr string, h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{H: h, Traffic: &Traffic{}, listener: ln, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		worker := binary.LittleEndian.Uint32(hdr[4:])
+		if n > maxFrame {
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		resp, err := s.H(int(worker), payload)
+		if err != nil {
+			return
+		}
+		var rhdr [4]byte
+		binary.LittleEndian.PutUint32(rhdr[:], uint32(len(resp)))
+		if _, err := conn.Write(rhdr[:]); err != nil {
+			return
+		}
+		if _, err := conn.Write(resp); err != nil {
+			return
+		}
+		s.Traffic.Record(int(n), len(resp))
+	}
+}
+
+// Close stops accepting, closes every connection, and waits for handler
+// goroutines to finish.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// TCPClient is the worker-side transport over one TCP connection. A client
+// serialises its own exchanges; use one client per worker goroutine.
+type TCPClient struct {
+	conn    net.Conn
+	Traffic *Traffic
+	mu      sync.Mutex
+}
+
+// DialTCP connects to a TCPServer.
+func DialTCP(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &TCPClient{conn: conn, Traffic: &Traffic{}}, nil
+}
+
+// Exchange implements Transport.
+func (c *TCPClient) Exchange(worker int, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(worker))
+	if _, err := c.conn.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := c.conn.Write(payload); err != nil {
+		return nil, fmt.Errorf("transport: write payload: %w", err)
+	}
+	var rhdr [4]byte
+	if _, err := io.ReadFull(c.conn, rhdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: read response header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(rhdr[:])
+	if n > maxFrame {
+		return nil, errors.New("transport: response frame too large")
+	}
+	resp := make([]byte, n)
+	if _, err := io.ReadFull(c.conn, resp); err != nil {
+		return nil, fmt.Errorf("transport: read response: %w", err)
+	}
+	c.Traffic.Record(len(payload), len(resp))
+	return resp, nil
+}
+
+// Close implements Transport.
+func (c *TCPClient) Close() error { return c.conn.Close() }

@@ -1,0 +1,69 @@
+// Package transport moves encoded updates between workers and the
+// parameter server. Two implementations share one interface: Loopback
+// (in-process, for goroutine-based training) and TCP (real sockets, for
+// multi-process clusters). Both count traffic so experiments can report
+// exact communication volumes.
+package transport
+
+import "sync/atomic"
+
+// Transport is the worker-side communication handle: one round trip sends
+// the worker's encoded update and returns the server's encoded response.
+type Transport interface {
+	// Exchange performs a synchronous request/response for the given
+	// worker id and returns the server's payload.
+	Exchange(worker int, payload []byte) ([]byte, error)
+	// Close releases resources. Exchange must not be called afterwards.
+	Close() error
+}
+
+// Traffic counts bytes moved in each direction. All methods are safe for
+// concurrent use.
+type Traffic struct {
+	up, down, exchanges atomic.Int64
+}
+
+// Record adds one exchange's byte counts.
+func (t *Traffic) Record(upBytes, downBytes int) {
+	t.up.Add(int64(upBytes))
+	t.down.Add(int64(downBytes))
+	t.exchanges.Add(1)
+}
+
+// Up returns total worker→server bytes.
+func (t *Traffic) Up() int64 { return t.up.Load() }
+
+// Down returns total server→worker bytes.
+func (t *Traffic) Down() int64 { return t.down.Load() }
+
+// Exchanges returns the number of round trips recorded.
+func (t *Traffic) Exchanges() int64 { return t.exchanges.Load() }
+
+// Handler is the server-side processing function: it receives a worker id
+// and the request payload and returns the response payload.
+type Handler func(worker int, payload []byte) ([]byte, error)
+
+// Loopback dispatches exchanges directly to a Handler in-process while
+// still exercising the full encode/decode path and recording traffic.
+type Loopback struct {
+	H       Handler
+	Traffic *Traffic
+}
+
+// NewLoopback wraps a handler.
+func NewLoopback(h Handler) *Loopback {
+	return &Loopback{H: h, Traffic: &Traffic{}}
+}
+
+// Exchange implements Transport.
+func (l *Loopback) Exchange(worker int, payload []byte) ([]byte, error) {
+	resp, err := l.H(worker, payload)
+	if err != nil {
+		return nil, err
+	}
+	l.Traffic.Record(len(payload), len(resp))
+	return resp, nil
+}
+
+// Close implements Transport; loopback holds no resources.
+func (l *Loopback) Close() error { return nil }

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func echoHandler(worker int, payload []byte) ([]byte, error) {
+	out := append([]byte{byte(worker)}, payload...)
+	return out, nil
+}
+
+func TestLoopbackExchange(t *testing.T) {
+	l := NewLoopback(echoHandler)
+	defer l.Close()
+	resp, err := l.Exchange(3, []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte{3, 'h', 'i'}) {
+		t.Fatalf("resp = %v", resp)
+	}
+	if l.Traffic.Up() != 2 || l.Traffic.Down() != 3 || l.Traffic.Exchanges() != 1 {
+		t.Fatalf("traffic wrong: up=%d down=%d n=%d", l.Traffic.Up(), l.Traffic.Down(), l.Traffic.Exchanges())
+	}
+}
+
+func TestLoopbackPropagatesError(t *testing.T) {
+	want := errors.New("boom")
+	l := NewLoopback(func(int, []byte) ([]byte, error) { return nil, want })
+	if _, err := l.Exchange(0, nil); !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+	if l.Traffic.Exchanges() != 0 {
+		t.Fatal("failed exchange must not be counted")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	resp, err := cli.Exchange(7, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, append([]byte{7}, []byte("payload")...)) {
+		t.Fatalf("resp = %q", resp)
+	}
+	if cli.Traffic.Up() != 7 || cli.Traffic.Down() != 8 {
+		t.Fatalf("client traffic up=%d down=%d", cli.Traffic.Up(), cli.Traffic.Down())
+	}
+}
+
+func TestTCPEmptyPayload(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	resp, err := cli.Exchange(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte{1}) {
+		t.Fatalf("resp = %v", resp)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	resp, err := cli.Exchange(0, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != len(big)+1 || !bytes.Equal(resp[1:], big) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestTCPManyClientsConcurrently(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]int{}
+	srv, err := ListenTCP("127.0.0.1:0", func(worker int, payload []byte) ([]byte, error) {
+		mu.Lock()
+		seen[worker]++
+		mu.Unlock()
+		return payload, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const workers = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			cli, err := DialTCP(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			for r := 0; r < rounds; r++ {
+				msg := []byte(fmt.Sprintf("w%d-r%d", k, r))
+				resp, err := cli.Exchange(k, msg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(resp, msg) {
+					errs <- fmt.Errorf("worker %d round %d: corrupted echo", k, r)
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for k := 0; k < workers; k++ {
+		if seen[k] != rounds {
+			t.Fatalf("worker %d served %d rounds, want %d", k, seen[k], rounds)
+		}
+	}
+	if srv.Traffic.Exchanges() != workers*rounds {
+		t.Fatalf("server exchanges %d, want %d", srv.Traffic.Exchanges(), workers*rounds)
+	}
+}
+
+func TestTCPServerCloseUnblocksClients(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Exchange(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Exchange(0, []byte("y")); err == nil {
+		t.Fatal("exchange after server close must fail")
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := DialTCP("127.0.0.1:1"); err == nil {
+		t.Fatal("dialing a dead port must fail")
+	}
+}
+
+func TestTrafficConcurrent(t *testing.T) {
+	var tr Traffic
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Record(3, 5)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Up() != 4800 || tr.Down() != 8000 || tr.Exchanges() != 1600 {
+		t.Fatalf("traffic totals wrong: %d %d %d", tr.Up(), tr.Down(), tr.Exchanges())
+	}
+}

@@ -1,0 +1,78 @@
+package dgs
+
+import "dgs/internal/netsim"
+
+// ClusterSim describes a simulated parameter-server deployment for
+// estimating wall-clock training time from measured traffic (the repo's
+// stand-in for the paper's 10 Gbps / 1 Gbps testbed; see DESIGN.md).
+type ClusterSim struct {
+	// Workers is the number of concurrent workers.
+	Workers int
+	// BandwidthGbps is the server link bandwidth per direction.
+	BandwidthGbps float64
+	// ComputeSeconds is the per-iteration forward+backward time. Use
+	// Result.ComputePerIter for this machine, or a target accelerator's
+	// figure (≈0.3 s for ResNet-18 batch 256 on a V100).
+	ComputeSeconds float64
+	// UpBytes and DownBytes are per-iteration message sizes. Use
+	// Result.AvgUpBytes / Result.AvgDownBytes, optionally rescaled to a
+	// larger model.
+	UpBytes, DownBytes float64
+	// Iterations is the number of pushes to simulate (default 50/worker).
+	Iterations int
+	// LatencySeconds is one-way latency (default 100 µs).
+	LatencySeconds float64
+	// Seed drives compute-time jitter (default 1).
+	Seed uint64
+}
+
+// SimResult summarises a cluster simulation.
+type SimResult struct {
+	// TotalSeconds is the simulated wall-clock time.
+	TotalSeconds float64
+	// IterationsPerSecond is the cluster throughput.
+	IterationsPerSecond float64
+	// Speedup compares against one communication-free worker.
+	Speedup float64
+	// LinkUtilisation is busy-time fraction of the busier link direction.
+	LinkUtilisation float64
+}
+
+// Simulate estimates the wall-clock behaviour of a deployment.
+func Simulate(cfg ClusterSim) SimResult {
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 50 * cfg.Workers
+	}
+	if cfg.LatencySeconds == 0 {
+		cfg.LatencySeconds = 100e-6
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	r := netsim.Run(netsim.Config{
+		Workers:       cfg.Workers,
+		ComputeTime:   cfg.ComputeSeconds,
+		ComputeJitter: 0.1,
+		BandwidthBps:  netsim.Gbps(cfg.BandwidthGbps),
+		LatencyS:      cfg.LatencySeconds,
+		ServerTimeS:   5e-3,
+		UpBytes:       func(int) float64 { return cfg.UpBytes },
+		DownBytes:     func(int) float64 { return cfg.DownBytes },
+		Iterations:    cfg.Iterations,
+		Seed:          cfg.Seed,
+	})
+	busy := r.BusyUplink
+	if r.BusyDownlink > busy {
+		busy = r.BusyDownlink
+	}
+	util := 0.0
+	if r.TotalTime > 0 {
+		util = busy / r.TotalTime
+	}
+	return SimResult{
+		TotalSeconds:        r.TotalTime,
+		IterationsPerSecond: r.Throughput(),
+		Speedup:             netsim.Speedup(&r, cfg.ComputeSeconds),
+		LinkUtilisation:     util,
+	}
+}
