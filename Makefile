@@ -1,0 +1,21 @@
+# Tier-1 verification for this repo. `make check` is what CI and every PR
+# must keep green: build, vet, then the full test suite under the race
+# detector (the async exchange paths are required to be race-clean).
+.PHONY: check build vet test race bench
+
+check: build vet race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench . -benchtime 1x

@@ -35,6 +35,7 @@ func main() {
 		ratio     = flag.Float64("ratio", 0.01, "secondary compression keep ratio")
 		denseDown = flag.Bool("dense-down", false, "ship the whole model downward (ASGD mode)")
 		statEvery = flag.Duration("stats", 10*time.Second, "stats print interval")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-exchange deadline (0 disables)")
 	)
 	flag.Parse()
 
@@ -49,11 +50,16 @@ func main() {
 		SecondaryRatio: *ratio,
 		DenseDownward:  *denseDown,
 	})
-	srv, err := transport.ListenTCP(*addr, trainer.Handler(server))
+	// The exactly-once session layer makes worker retries safe (replayed
+	// pushes answer from cache instead of re-applying) and resyncs
+	// crashed-and-rejoined workers with a dense snapshot.
+	eo := trainer.ExactlyOnceHandler(server)
+	srv, err := transport.ListenTCP(*addr, eo.Handle)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dgs-server:", err)
 		os.Exit(1)
 	}
+	srv.ExchangeTimeout = *timeout
 	defer srv.Close()
 	fmt.Printf("dgs-server: listening on %s (%d params, %d workers, secondary=%v)\n",
 		srv.Addr(), model.NumParams(), *workers, *secondary)
@@ -70,8 +76,10 @@ func main() {
 			if st.Pushes > 0 {
 				mean = float64(st.StalenessSum) / float64(st.Pushes)
 			}
-			fmt.Printf("dgs-server: pushes=%d staleness(mean=%.2f max=%d) traffic(up=%dKB down=%dKB)\n",
-				st.Pushes, mean, st.MaxStaleness, srv.Traffic.Up()/1000, srv.Traffic.Down()/1000)
+			ss := eo.Stats()
+			fmt.Printf("dgs-server: pushes=%d staleness(mean=%.2f max=%d) traffic(up=%dKB down=%dKB) sessions(joins=%d replays=%d stale=%d resyncs=%d)\n",
+				st.Pushes, mean, st.MaxStaleness, srv.Traffic.Up()/1000, srv.Traffic.Down()/1000,
+				ss.Hellos, ss.Replays, ss.StaleRejected, st.Resyncs)
 		case <-sig:
 			fmt.Println("dgs-server: shutting down")
 			return

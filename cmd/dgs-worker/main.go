@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dgs/internal/data"
 	"dgs/internal/nn"
@@ -46,6 +47,16 @@ func main() {
 		momentum = flag.Float64("momentum", 0.7, "momentum m")
 		keep     = flag.Float64("keep", 0.01, "Top-k keep ratio")
 		seed     = flag.Uint64("seed", 1, "seed (must match other workers for identical θ0)")
+
+		retries    = flag.Int("retries", 8, "reconnect retries per exchange")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-exchange deadline (0 disables)")
+		rejoins    = flag.Int("rejoins", 0, "crash-recovery budget: restart the loop as a fresh incarnation this many times")
+		faultDrop  = flag.Float64("fault-drop", 0, "inject: P(request dropped before send)")
+		faultTorn  = flag.Float64("fault-torn", 0, "inject: P(response torn after server processed)")
+		faultDup   = flag.Float64("fault-dup", 0, "inject: P(request delivered twice)")
+		faultReset = flag.Float64("fault-reset", 0, "inject: P(connection reset)")
+		faultDelay = flag.Duration("fault-delay", 0, "inject: max random per-exchange delay")
+		faultSeed  = flag.Uint64("fault-seed", 1, "fault injection schedule seed")
 	)
 	flag.Parse()
 
@@ -70,12 +81,39 @@ func main() {
 		EvalLimit:  512,
 	}
 
-	cli, err := transport.DialTCP(*addr)
-	fatalIf(err)
-	defer cli.Close()
+	// Transport stack, top to bottom: SessionClient (exactly-once envelope)
+	// → Reconnecting (redial + re-send the same frame) → optional Faulty
+	// (seeded chaos) → TCPClient with a per-exchange deadline. A fresh stack
+	// per attempt is a fresh worker incarnation: its hello makes the server
+	// resync this id and ship a dense snapshot.
+	var dials uint64
+	dialStack := func() (transport.Transport, error) {
+		rc := transport.NewReconnecting(func() (transport.Transport, error) {
+			c, err := transport.DialTCP(*addr)
+			if err != nil {
+				return nil, err
+			}
+			c.ExchangeTimeout = *timeout
+			dials++
+			if *faultDrop > 0 || *faultTorn > 0 || *faultDup > 0 || *faultReset > 0 || *faultDelay > 0 {
+				return transport.NewFaulty(c, transport.FaultConfig{
+					Seed:           *faultSeed + dials,
+					DropBeforeSend: *faultDrop,
+					DropAfterSend:  *faultTorn,
+					Duplicate:      *faultDup,
+					Reset:          *faultReset,
+					Delay:          0.25,
+					MaxDelay:       *faultDelay,
+				}), nil
+			}
+			return c, nil
+		})
+		rc.MaxRetries = *retries
+		return transport.NewSessionClient(rc), nil
+	}
 
-	fmt.Printf("dgs-worker %d: connected to %s, method=%s\n", *id, *addr, m)
-	res, err := trainer.RunWorkerLoop(cfg, *id, cli)
+	fmt.Printf("dgs-worker %d: connecting to %s, method=%s\n", *id, *addr, m)
+	res, err := trainer.RunResilientWorkerLoop(cfg, *id, dialStack, *rejoins)
 	fatalIf(err)
 	fmt.Printf("dgs-worker %d: done, %d iterations, final loss %.4f\n", *id, res.Iterations, res.Loss.Last().Y)
 	if *id == 0 {

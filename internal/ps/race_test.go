@@ -1,0 +1,193 @@
+package ps
+
+import (
+	"sync"
+	"testing"
+
+	"dgs/internal/sparse"
+)
+
+// raceInvariantPush hammers a Pusher from many goroutines and then checks
+// the bookkeeping: M must equal −Σ of every applied update (Push does
+// M ← M − g), and the staleness counters must be consistent with the push
+// count. Run under `go test -race` this doubles as the data-race probe for
+// the server's locking.
+// pushMultiplier is 1 for a plain Server; a ShardedServer counts one push
+// per shard per exchange in its aggregated stats.
+func raceInvariantPush(t *testing.T, server Pusher, workers, rounds int, sizes []int, pushMultiplier int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Worker k touches coordinate k of every layer with value 1,
+				// so the expected final M is exactly −rounds at those
+				// coordinates and 0 elsewhere.
+				var g sparse.Update
+				for layer := range sizes {
+					g.Chunks = append(g.Chunks, sparse.Chunk{
+						Layer: layer, Idx: []int32{int32(k)}, Val: []float32{1},
+					})
+				}
+				server.Push(k, &g)
+			}
+		}(k)
+	}
+	wg.Wait()
+
+	st := server.Stats()
+	total := uint64(workers * rounds * pushMultiplier)
+	if st.Pushes != total {
+		t.Fatalf("pushes %d, want %d", st.Pushes, total)
+	}
+	if st.MaxStaleness >= total {
+		t.Fatalf("max staleness %d exceeds total pushes %d", st.MaxStaleness, total)
+	}
+	// Each push's staleness is below the total count, so the sum is bounded.
+	if st.StalenessSum > total*total {
+		t.Fatalf("staleness sum %d implausible for %d pushes", st.StalenessSum, total)
+	}
+}
+
+func checkMEqualsAppliedSum(t *testing.T, m [][]float32, workers, rounds int) {
+	t.Helper()
+	for layer := range m {
+		for j, v := range m[layer] {
+			want := float32(0)
+			if j < workers {
+				want = -float32(rounds)
+			}
+			if v != want {
+				t.Fatalf("M[%d][%d] = %v, want %v — an update was lost or double-applied", layer, j, v, want)
+			}
+		}
+	}
+}
+
+func TestServerConcurrentPushInvariant(t *testing.T) {
+	const workers, rounds = 8, 200
+	sizes := []int{16, 16}
+	s := NewServer(Config{LayerSizes: sizes, Workers: workers})
+	raceInvariantPush(t, s, workers, rounds, sizes, 1)
+
+	m := [][]float32{make([]float32, 16), make([]float32, 16)}
+	s.MSnapshot(m)
+	checkMEqualsAppliedSum(t, m, workers, rounds)
+
+	// Every worker drains with one empty push: afterwards v_k must mirror M
+	// exactly (the Eq. 5 server-side invariant without secondary
+	// compression).
+	for k := 0; k < workers; k++ {
+		s.Push(k, &sparse.Update{})
+	}
+	v := [][]float32{make([]float32, 16), make([]float32, 16)}
+	for k := 0; k < workers; k++ {
+		s.VSnapshot(k, v)
+		for layer := range m {
+			for j := range m[layer] {
+				if v[layer][j] != m[layer][j] {
+					t.Fatalf("worker %d: v[%d][%d]=%v != M=%v after drain", k, layer, j, v[layer][j], m[layer][j])
+				}
+			}
+		}
+	}
+}
+
+func TestShardedServerConcurrentPushInvariant(t *testing.T) {
+	const workers, rounds = 8, 200
+	sizes := []int{16, 16, 16}
+	s := NewShardedServer(Config{LayerSizes: sizes, Workers: workers}, 3)
+	raceInvariantPush(t, s, workers, rounds, sizes, 3)
+
+	// Sum M across shards by draining one worker and reading its difference:
+	// simpler to verify via each shard's snapshot.
+	for i, shard := range s.shards {
+		m := make([][]float32, len(shard.cfg.LayerSizes))
+		for l, n := range shard.cfg.LayerSizes {
+			m[l] = make([]float32, n)
+		}
+		shard.MSnapshot(m)
+		checkMEqualsAppliedSum(t, m, workers, rounds)
+		_ = i
+	}
+}
+
+func TestResyncRestoresSnapshotSemantics(t *testing.T) {
+	s := NewServer(Config{LayerSizes: []int{8}, Workers: 2})
+	// Worker 0 pushes; worker 1 exchanges too, so both v's are warm.
+	g := sparse.Update{Chunks: []sparse.Chunk{{Layer: 0, Idx: []int32{1, 3}, Val: []float32{2, -1}}}}
+	s.Push(0, &g)
+	s.Push(1, &sparse.Update{})
+
+	if s.Epoch(1) != 0 {
+		t.Fatalf("epoch %d before resync", s.Epoch(1))
+	}
+	s.Resync(1)
+	if s.Epoch(1) != 1 {
+		t.Fatalf("epoch %d after resync, want 1", s.Epoch(1))
+	}
+	if s.Stats().Resyncs != 1 {
+		t.Fatalf("stats %+v", s.Stats())
+	}
+	// v_1 was reset, so the rejoining worker's first exchange returns the
+	// full model state M — the dense snapshot that rebuilds a θ0 replica.
+	v := [][]float32{make([]float32, 8)}
+	s.VSnapshot(1, v)
+	for j, x := range v[0] {
+		if x != 0 {
+			t.Fatalf("v[0][%d] = %v after resync, want 0", j, x)
+		}
+	}
+	G, _ := s.Push(1, &sparse.Update{})
+	m := [][]float32{make([]float32, 8)}
+	s.MSnapshot(m)
+	got := make([]float32, 8)
+	for i := range G.Chunks {
+		sparse.Scatter(&G.Chunks[i], got, 1)
+	}
+	for j := range got {
+		if got[j] != m[0][j] {
+			t.Fatalf("snapshot[%d] = %v, want M = %v", j, got[j], m[0][j])
+		}
+	}
+	// Staleness baseline moved: the rejoin exchange observes zero staleness.
+	s.Resync(0)
+	before := s.Stats()
+	s.Push(0, &sparse.Update{})
+	after := s.Stats()
+	if after.StalenessSum != before.StalenessSum {
+		t.Fatalf("resync did not reset the staleness baseline: %d -> %d", before.StalenessSum, after.StalenessSum)
+	}
+}
+
+func TestShardedResyncHitsAllShards(t *testing.T) {
+	s := NewShardedServer(Config{LayerSizes: []int{4, 4}, Workers: 1}, 2)
+	g := sparse.Update{Chunks: []sparse.Chunk{
+		{Layer: 0, Idx: []int32{0}, Val: []float32{1}},
+		{Layer: 1, Idx: []int32{0}, Val: []float32{1}},
+	}}
+	s.Push(0, &g)
+	s.Resync(0)
+	if s.Epoch(0) != 1 {
+		t.Fatalf("epoch %d, want 1", s.Epoch(0))
+	}
+	if s.Stats().Resyncs != 1 {
+		t.Fatalf("sharded resync counted %d times, want once", s.Stats().Resyncs)
+	}
+	for i, shard := range s.shards {
+		v := make([][]float32, len(shard.cfg.LayerSizes))
+		for l, n := range shard.cfg.LayerSizes {
+			v[l] = make([]float32, n)
+		}
+		shard.VSnapshot(0, v)
+		for l := range v {
+			for j, x := range v[l] {
+				if x != 0 {
+					t.Fatalf("shard %d v[%d][%d] = %v after resync", i, l, j, x)
+				}
+			}
+		}
+	}
+}

@@ -48,6 +48,8 @@ type Stats struct {
 	StalenessSum uint64
 	// MaxStaleness is the largest staleness observed.
 	MaxStaleness uint64
+	// Resyncs is the number of worker state resets (crash/rejoin recoveries).
+	Resyncs uint64
 }
 
 // Pusher is the server-side exchange interface shared by Server and
@@ -56,6 +58,11 @@ type Pusher interface {
 	// Push applies the update and returns the downward difference plus a
 	// monotone logical timestamp.
 	Push(worker int, g *sparse.Update) (sparse.Update, uint64)
+	// Resync resets a rejoining worker's server-side state (see
+	// Server.Resync).
+	Resync(worker int)
+	// Epoch returns the worker's incarnation counter (bumped by Resync).
+	Epoch(worker int) uint64
 	// Stats snapshots staleness counters.
 	Stats() Stats
 	// StateBytes reports server memory.
@@ -72,6 +79,7 @@ type Server struct {
 	m     [][]float32   // M: accumulation of updates
 	v     [][][]float32 // v[k]: accumulation of differences sent to worker k
 	prev  []uint64      // prev(k): server timestamp at worker k's last exchange
+	epoch []uint64      // epoch(k): incarnation counter, bumped on Resync
 	t     uint64        // timestamp: number of updates applied
 	stats Stats
 
@@ -102,7 +110,39 @@ func NewServer(cfg Config) *Server {
 		s.v[k] = alloc()
 	}
 	s.prev = make([]uint64, cfg.Workers)
+	s.epoch = make([]uint64, cfg.Workers)
 	return s
+}
+
+// Resync resets worker k's server-side state for a crash/rejoin: v_k is
+// zeroed and the staleness baseline moves to now, so the worker's next
+// exchange returns G = M − 0 = M — a dense snapshot that rebuilds a fresh
+// θ0 replica into the current server model (Eq. 5 restored from scratch).
+// The worker's epoch is bumped so the transport layer can fence off
+// in-flight pushes from the dead incarnation; the sparse residuals that
+// incarnation held are unrecoverable by design, which is why recovery
+// resets to a consistent snapshot instead of trying to replay them.
+func (s *Server) Resync(worker int) {
+	if worker < 0 || worker >= s.cfg.Workers {
+		panic(fmt.Sprintf("ps: worker %d out of range [0,%d)", worker, s.cfg.Workers))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, layer := range s.v[worker] {
+		for j := range layer {
+			layer[j] = 0
+		}
+	}
+	s.prev[worker] = s.t
+	s.epoch[worker]++
+	s.stats.Resyncs++
+}
+
+// Epoch returns worker k's incarnation counter.
+func (s *Server) Epoch(worker int) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch[worker]
 }
 
 // Push applies worker k's update g (M ← M − g), computes the downward model

@@ -110,15 +110,35 @@ func (s *ShardedServer) Push(worker int, g *sparse.Update) (sparse.Update, uint6
 	return out, clock
 }
 
+// Resync resets the rejoining worker's state on every shard. The sharded
+// exchange stays consistent because a resync happens between exchanges (the
+// transport layer serialises a worker's exchanges), so no shard can see a
+// push from the old incarnation afterwards.
+func (s *ShardedServer) Resync(worker int) {
+	for _, shard := range s.shards {
+		shard.Resync(worker)
+	}
+}
+
+// Epoch returns the worker's incarnation counter (identical across shards;
+// shard 0 is authoritative).
+func (s *ShardedServer) Epoch(worker int) uint64 {
+	return s.shards[0].Epoch(worker)
+}
+
 // Stats aggregates the shard counters.
 func (s *ShardedServer) Stats() Stats {
 	var total Stats
-	for _, shard := range s.shards {
+	for i, shard := range s.shards {
 		st := shard.Stats()
 		total.Pushes += st.Pushes
 		total.StalenessSum += st.StalenessSum
 		if st.MaxStaleness > total.MaxStaleness {
 			total.MaxStaleness = st.MaxStaleness
+		}
+		if i == 0 {
+			// Every Resync hits all shards identically; count it once.
+			total.Resyncs = st.Resyncs
 		}
 	}
 	return total

@@ -1,0 +1,335 @@
+package trainer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dgs/internal/ps"
+	"dgs/internal/sparse"
+	"dgs/internal/stats"
+	"dgs/internal/tensor"
+	"dgs/internal/transport"
+)
+
+// chaosFaults is the fault mix used by the chaos harness: lost requests,
+// torn responses, duplicated deliveries, connection resets, and jitter.
+func chaosFaults(seed uint64) transport.FaultConfig {
+	return transport.FaultConfig{
+		Seed:           seed,
+		DropBeforeSend: 0.04,
+		DropAfterSend:  0.04,
+		Duplicate:      0.04,
+		Reset:          0.02,
+		Delay:          0.05,
+		MaxDelay:       time.Millisecond,
+	}
+}
+
+// chaosDialer builds the production transport stack — SessionClient →
+// Reconnecting → Faulty → TCPClient — with a per-attempt exchange budget:
+// when budget >= 0, the stack permanently dies after that many exchanges
+// (simulating a worker crash mid-training).
+func chaosDialer(addr string, seedBase *atomic.Uint64, budget int64) func() (transport.Transport, error) {
+	return func() (transport.Transport, error) {
+		remaining := &atomic.Int64{}
+		if budget >= 0 {
+			remaining.Store(budget)
+		} else {
+			remaining.Store(math.MaxInt64)
+		}
+		rc := transport.NewReconnecting(func() (transport.Transport, error) {
+			c, err := transport.DialTCP(addr)
+			if err != nil {
+				return nil, err
+			}
+			c.ExchangeTimeout = 10 * time.Second
+			return &killswitch{
+				inner:     transport.NewFaulty(c, chaosFaults(seedBase.Add(1))),
+				remaining: remaining,
+			}, nil
+		})
+		rc.MaxRetries = 40
+		rc.Backoff = time.Millisecond
+		rc.MaxBackoff = 4 * time.Millisecond
+		return transport.NewSessionClient(rc), nil
+	}
+}
+
+// killswitch fails every exchange once its shared budget runs out —
+// including after reconnects — so a whole client stack dies like a crashed
+// worker process.
+type killswitch struct {
+	inner     transport.Transport
+	remaining *atomic.Int64
+}
+
+func (k *killswitch) Exchange(worker int, payload []byte) ([]byte, error) {
+	if k.remaining.Add(-1) < 0 {
+		return nil, errors.New("chaos: worker crashed")
+	}
+	return k.inner.Exchange(worker, payload)
+}
+
+func (k *killswitch) Close() error { return k.inner.Close() }
+
+// drainWorker exchanges empty pushes (sessionless, straight through the
+// middleware passthrough) until the server has no difference left for the
+// worker, then returns how many exchanges it took.
+func drainWorker(t *testing.T, addr string, worker int) int {
+	t.Helper()
+	cli, err := transport.DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	empty := sparse.Encode(&sparse.Update{})
+	for i := 1; i <= 64; i++ {
+		resp, err := cli.Exchange(worker, empty)
+		if err != nil {
+			t.Fatalf("drain worker %d: %v", worker, err)
+		}
+		G, err := sparse.Decode(resp)
+		if err != nil {
+			t.Fatalf("drain worker %d decode: %v", worker, err)
+		}
+		if G.NNZ() == 0 {
+			return i
+		}
+	}
+	t.Fatalf("worker %d difference did not drain", worker)
+	return 0
+}
+
+// The chaos harness: 4 workers train over real TCP while the transport
+// injects drops, torn responses, duplicates, resets and delays, and worker
+// 3 crashes mid-training and rejoins as a fresh incarnation. Training must
+// complete, converge, and leave the server satisfying the model-difference
+// invariant (v_k == M for every worker after drain).
+func TestChaosTrainingSurvivesFaultsExactlyOnce(t *testing.T) {
+	cfg := quickConfig(DGS, 4)
+	proto := cfg.BuildModel(tensor.NewRNG(cfg.Seed))
+	sizes := proto.LayerSizes()
+	server := ps.NewServer(ps.Config{LayerSizes: sizes, Workers: 4})
+	eo := ExactlyOnceHandler(server)
+	srv, err := transport.ListenTCP("127.0.0.1:0", eo.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.ExchangeTimeout = 20 * time.Second
+	defer srv.Close()
+
+	var seedBase atomic.Uint64
+	var wg sync.WaitGroup
+	results := make([]*Result, 4)
+	errs := make([]error, 4)
+	for id := 0; id < 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if id == 3 {
+				// Worker 3 crashes after ~40 exchanges; the resilient loop
+				// rejoins it as a new incarnation (hello → server resync →
+				// dense snapshot onto a fresh replica).
+				attempt := 0
+				dial := func() (transport.Transport, error) {
+					attempt++
+					if attempt == 1 {
+						return chaosDialer(srv.Addr(), &seedBase, 40)()
+					}
+					return chaosDialer(srv.Addr(), &seedBase, -1)()
+				}
+				results[id], errs[id] = RunResilientWorkerLoop(cfg, id, dial, 3)
+				return
+			}
+			results[id], errs[id] = RunResilientWorkerLoop(cfg, id, chaosDialer(srv.Addr(), &seedBase, -1), 3)
+		}(id)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", id, err)
+		}
+	}
+
+	// Convergence despite the chaos: worker 0 syncs with the server and
+	// evaluates at the end of its loop.
+	if acc := results[0].FinalAccuracy; acc < 0.6 {
+		t.Fatalf("final accuracy %.3f under chaos; training diverged", acc)
+	}
+
+	// The faults actually happened and were absorbed by the protocol.
+	ss := eo.Stats()
+	if ss.Replays == 0 {
+		t.Fatal("no replays recorded — the fault schedule never exercised the replay cache")
+	}
+	if ss.Hellos < 5 {
+		t.Fatalf("%d hellos; want ≥5 (4 workers + ≥1 rejoin)", ss.Hellos)
+	}
+	if st := server.Stats(); st.Resyncs != ss.Hellos {
+		t.Fatalf("resyncs %d != incarnations %d", st.Resyncs, ss.Hellos)
+	}
+
+	// Model-difference invariant: after draining each worker, its
+	// sent-accumulation v_k must equal the update accumulation M exactly
+	// (Eq. 5; without secondary compression nothing may be left implicit).
+	// A lost or double-applied frame anywhere in the run would leave a
+	// worker's v_k permanently out of step with what it was actually sent.
+	m := snapshotBuffer(sizes)
+	v := snapshotBuffer(sizes)
+	for k := 0; k < 4; k++ {
+		drainWorker(t, srv.Addr(), k)
+	}
+	server.MSnapshot(m)
+	for k := 0; k < 4; k++ {
+		server.VSnapshot(k, v)
+		for layer := range m {
+			for j := range m[layer] {
+				if v[layer][j] != m[layer][j] {
+					t.Fatalf("worker %d: v[%d][%d]=%v != M=%v — exchange state diverged", k, layer, j, v[layer][j], m[layer][j])
+				}
+			}
+		}
+	}
+}
+
+func snapshotBuffer(sizes []int) [][]float32 {
+	out := make([][]float32, len(sizes))
+	for i, n := range sizes {
+		out[i] = make([]float32, n)
+	}
+	return out
+}
+
+// Worker-side half of the Eq. 5 invariant: after training over a faulty
+// link and draining, the worker's replica must equal θ0 + v_k — the server
+// and the worker agree on every coordinate of what was exchanged.
+func TestChaosWorkerReplicaMatchesServerState(t *testing.T) {
+	cfg := quickConfig(DGS, 1)
+	if err := cfg.normalise(); err != nil {
+		t.Fatal(err)
+	}
+	proto := cfg.BuildModel(tensor.NewRNG(cfg.Seed))
+	sizes := proto.LayerSizes()
+	server := ps.NewServer(ps.Config{LayerSizes: sizes, Workers: 1})
+	eo := ExactlyOnceHandler(server)
+	srv, err := transport.ListenTCP("127.0.0.1:0", eo.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var seedBase atomic.Uint64
+	tr, err := chaosDialer(srv.Addr(), &seedBase, -1)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	var iterCounter, computeNanos atomic.Int64
+	res := &Result{
+		Loss:     stats.NewSeries("chaos-loss"),
+		Accuracy: stats.NewSeries("chaos-acc"),
+	}
+	lr := newSchedule(&cfg, 150)
+	w := worker{
+		cfg: &cfg, id: 0, sizes: sizes, tr: tr,
+		totalIters: 150, samplesPerEpoch: float64(cfg.Dataset.NumTrain()),
+		iterCounter: &iterCounter, computeNanos: &computeNanos,
+		lr: lr, res: res,
+	}
+	model, err := w.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the remaining difference through the same session, applying it
+	// to the replica like the training loop does.
+	if err := syncModel(tr, 0, model); err != nil {
+		t.Fatal(err)
+	}
+
+	v := snapshotBuffer(sizes)
+	server.VSnapshot(0, v)
+	theta0 := cfg.BuildModel(tensor.NewRNG(cfg.Seed)).Params()
+	params := model.Params()
+	for layer := range v {
+		for j := range v[layer] {
+			want := theta0[layer].Value.Data[j] + v[layer][j]
+			got := params[layer].Value.Data[j]
+			diff := float64(want - got)
+			tol := 1e-3 + 1e-3*math.Abs(float64(want))
+			if math.Abs(diff) > tol {
+				t.Fatalf("layer %d coord %d: replica %v vs θ0+v_k %v (Δ %v) — worker and server state diverged",
+					layer, j, got, want, diff)
+			}
+		}
+	}
+}
+
+// The acceptance-criteria replay-cache proof against the real parameter
+// server: a push whose response is torn gets retried over the wire, and the
+// server applies it to M exactly once.
+func TestRetriedPushAppliedExactlyOnce(t *testing.T) {
+	server := ps.NewServer(ps.Config{LayerSizes: []int{4}, Workers: 1})
+	eo := ExactlyOnceHandler(server)
+	lb := transport.NewLoopback(eo.Handle)
+	torn := &tearNthResponse{inner: lb, tearAt: 2} // tear the push, not the hello
+	rc := transport.NewReconnecting(func() (transport.Transport, error) { return torn, nil })
+	rc.Backoff = time.Millisecond
+	sc := transport.NewSessionClient(rc)
+
+	// Hello/join exchange (exchange 1).
+	if _, err := sc.Exchange(0, sparse.Encode(&sparse.Update{})); err != nil {
+		t.Fatal(err)
+	}
+	// The push (exchange 2): its response is torn, forcing a wire retry.
+	g := sparse.Update{Chunks: []sparse.Chunk{{Layer: 0, Idx: []int32{1}, Val: []float32{2}}}}
+	resp, err := sc.Exchange(0, sparse.Encode(&g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sparse.Decode(resp); err != nil {
+		t.Fatal(err)
+	}
+	if torn.calls < 3 {
+		t.Fatalf("only %d wire deliveries; the tear did not force a retry", torn.calls)
+	}
+	if st := eo.Stats(); st.Replays != 1 {
+		t.Fatalf("session stats %+v, want exactly one replay", st)
+	}
+	// M must reflect ONE application of g: M = −g, not −2g.
+	m := [][]float32{make([]float32, 4)}
+	server.MSnapshot(m)
+	if m[0][1] != -2 {
+		t.Fatalf("M[1] = %v after a retried push of 2, want -2 (exactly once)", m[0][1])
+	}
+	if st := server.Stats(); st.Pushes != 2 {
+		t.Fatalf("server saw %d pushes (hello + push), want 2", st.Pushes)
+	}
+}
+
+// tearNthResponse delivers every exchange but loses the response of the
+// tearAt-th wire delivery.
+type tearNthResponse struct {
+	inner  transport.Transport
+	calls  int
+	tearAt int
+}
+
+func (f *tearNthResponse) Exchange(worker int, payload []byte) ([]byte, error) {
+	f.calls++
+	resp, err := f.inner.Exchange(worker, payload)
+	if err != nil {
+		return nil, err
+	}
+	if f.calls == f.tearAt {
+		return nil, fmt.Errorf("torn response (delivery %d)", f.calls)
+	}
+	return resp, nil
+}
+
+func (f *tearNthResponse) Close() error { return f.inner.Close() }

@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -61,4 +62,38 @@ func RunWorkerLoop(cfg Config, id int, tr transport.Transport) (*Result, error) 
 	}
 	res.ComputePerIter = float64(computeNanos.Load()) / 1e9 / float64(maxInt(share, 1))
 	return res, nil
+}
+
+// RunResilientWorkerLoop is RunWorkerLoop with crash/rejoin recovery: each
+// attempt dials a fresh transport stack (typically SessionClient over
+// Reconnecting, via dial), and when an attempt dies on a transport failure
+// the loop rejoins as a new worker incarnation — the session hello makes
+// the server Resync this worker and ship a dense snapshot, so the rebuilt
+// θ0 replica lands on the current server model and training continues.
+// Worker-side optimizer residuals from the dead incarnation are
+// unrecoverable (the failure model's accepted loss); everything the server
+// committed survives exactly once.
+//
+// maxRestarts bounds rejoin attempts after the first. A stale-session
+// rejection (another live incarnation owns this worker id) is fatal and is
+// returned immediately — rejoining would fence out the legitimate owner.
+func RunResilientWorkerLoop(cfg Config, id int, dial func() (transport.Transport, error), maxRestarts int) (*Result, error) {
+	var lastErr error
+	for attempt := 0; attempt <= maxRestarts; attempt++ {
+		tr, err := dial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		res, err := RunWorkerLoop(cfg, id, tr)
+		tr.Close()
+		if err == nil {
+			return res, nil
+		}
+		if errors.Is(err, transport.ErrStaleSession) {
+			return nil, fmt.Errorf("trainer: worker %d superseded: %w", id, err)
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("trainer: worker %d gave up after %d attempts: %w", id, maxRestarts+1, lastErr)
 }

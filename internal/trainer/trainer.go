@@ -253,6 +253,19 @@ func Handler(server ps.Pusher) transport.Handler {
 	}
 }
 
+// ExactlyOnceHandler wraps Handler in the transport session middleware:
+// retried pushes are answered from the per-worker replay cache instead of
+// being re-applied, and a rejoining worker incarnation triggers a server
+// Resync so its first response ships a dense snapshot. This is the handler
+// the TCP deployment path (cmd/dgs-server, chaos tests) should serve;
+// sessionless clients pass through unchanged.
+func ExactlyOnceHandler(server ps.Pusher) *transport.ExactlyOnce {
+	return transport.NewExactlyOnce(Handler(server), func(worker int) error {
+		server.Resync(worker)
+		return nil
+	})
+}
+
 // Run executes a full training run and returns its result.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.normalise(); err != nil {

@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected marks a failure produced by the Faulty wrapper. It models a
+// network fault (not a server rejection), so retry layers treat it exactly
+// like a real connection error.
+var ErrInjected = errors.New("transport: injected fault")
+
+// FaultConfig parameterises a Faulty wrapper. All probabilities are rolled
+// independently per exchange from one seeded generator, so a given (seed,
+// call sequence) produces the same fault schedule on every run.
+type FaultConfig struct {
+	// Seed drives the fault schedule deterministically.
+	Seed uint64
+	// DropBeforeSend is the probability an exchange fails before the
+	// request leaves the client — the server never sees it.
+	DropBeforeSend float64
+	// DropAfterSend is the probability the request is delivered and
+	// processed but the response is lost (torn response) — the dangerous
+	// asymmetric failure the replay cache exists for.
+	DropAfterSend float64
+	// Duplicate is the probability the request is delivered twice (the
+	// second delivery must hit the server's replay cache).
+	Duplicate float64
+	// Reset is the probability the underlying connection is closed before
+	// the exchange, forcing the caller's reconnect path.
+	Reset float64
+	// Delay is the probability an exchange is delayed by a uniform random
+	// duration up to MaxDelay (jitter; stresses staleness and deadlines).
+	Delay    float64
+	MaxDelay time.Duration
+}
+
+// FaultStats counts injected faults by kind.
+type FaultStats struct {
+	DropsBefore, DropsAfter, Duplicates, Resets, Delays uint64
+}
+
+// Faulty wraps a Transport and injects seeded, deterministic faults. Place
+// it UNDER the retry layer (Reconnecting's Dial returns a Faulty-wrapped
+// TCPClient) so injected failures exercise the real recovery path:
+// reconnect, re-send, server-side replay dedupe.
+type Faulty struct {
+	inner Transport
+
+	mu     sync.Mutex
+	cfg    FaultConfig
+	rng    *rand.Rand
+	stats  FaultStats
+	closed bool
+}
+
+// NewFaulty wraps a transport with a fault schedule.
+func NewFaulty(inner Transport, cfg FaultConfig) *Faulty {
+	return &Faulty{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(int64(cfg.Seed)))}
+}
+
+// Stats snapshots the injected-fault counters.
+func (f *Faulty) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Exchange implements Transport, possibly injecting one fault. Fault rolls
+// happen in a fixed order (delay, reset, drop-before, duplicate,
+// drop-after) so the schedule is reproducible from the seed alone.
+func (f *Faulty) Exchange(worker int, payload []byte) ([]byte, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: connection reset", ErrInjected)
+	}
+	var sleep time.Duration
+	if f.roll(f.cfg.Delay) && f.cfg.MaxDelay > 0 {
+		sleep = time.Duration(f.rng.Int63n(int64(f.cfg.MaxDelay)))
+		f.stats.Delays++
+	}
+	reset := f.roll(f.cfg.Reset)
+	dropBefore := f.roll(f.cfg.DropBeforeSend)
+	duplicate := f.roll(f.cfg.Duplicate)
+	dropAfter := f.roll(f.cfg.DropAfterSend)
+	if reset {
+		f.stats.Resets++
+		f.closed = true
+	} else if dropBefore {
+		f.stats.DropsBefore++
+	} else if duplicate {
+		f.stats.Duplicates++
+	} else if dropAfter {
+		f.stats.DropsAfter++
+	}
+	f.mu.Unlock()
+
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	switch {
+	case reset:
+		f.inner.Close()
+		return nil, fmt.Errorf("%w: connection reset", ErrInjected)
+	case dropBefore:
+		return nil, fmt.Errorf("%w: request dropped before send", ErrInjected)
+	case duplicate:
+		// Deliver twice; surface the second response. Both roundtrips carry
+		// the same envelope, so the server must apply the exchange once and
+		// answer the duplicate from its replay cache.
+		if _, err := f.inner.Exchange(worker, payload); err != nil {
+			return nil, err
+		}
+		return f.inner.Exchange(worker, payload)
+	case dropAfter:
+		// The server processes the request; the client never sees the
+		// response (torn response). The caller's retry layer will tear down
+		// this connection and re-send the same frame.
+		if _, err := f.inner.Exchange(worker, payload); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: response torn", ErrInjected)
+	default:
+		return f.inner.Exchange(worker, payload)
+	}
+}
+
+// roll draws one Bernoulli sample; callers hold f.mu.
+func (f *Faulty) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return f.rng.Float64() < p
+}
+
+// Close implements Transport.
+func (f *Faulty) Close() error {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	return f.inner.Close()
+}

@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// memoryTransport is a trivial in-process echo with call counting.
+type memoryTransport struct {
+	calls  int
+	closed bool
+}
+
+func (m *memoryTransport) Exchange(worker int, payload []byte) ([]byte, error) {
+	m.calls++
+	return append([]byte{byte(worker)}, payload...), nil
+}
+
+func (m *memoryTransport) Close() error {
+	m.closed = true
+	return nil
+}
+
+func TestFaultyIsDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed uint64) []bool {
+		f := NewFaulty(&memoryTransport{}, FaultConfig{Seed: seed, DropBeforeSend: 0.4})
+		out := make([]bool, 50)
+		for i := range out {
+			_, err := f.Exchange(0, []byte("x"))
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at exchange %d", i)
+		}
+	}
+	c := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestFaultyDropBeforeSendNeverReachesServer(t *testing.T) {
+	inner := &memoryTransport{}
+	f := NewFaulty(inner, FaultConfig{Seed: 1, DropBeforeSend: 1})
+	if _, err := f.Exchange(0, []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err %v", err)
+	}
+	if inner.calls != 0 {
+		t.Fatal("drop-before-send must not deliver the request")
+	}
+	if f.Stats().DropsBefore == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestFaultyTornResponseDeliversButFails(t *testing.T) {
+	inner := &memoryTransport{}
+	f := NewFaulty(inner, FaultConfig{Seed: 1, DropAfterSend: 1})
+	if _, err := f.Exchange(0, []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err %v", err)
+	}
+	if inner.calls != 1 {
+		t.Fatalf("torn response must deliver exactly once, delivered %d", inner.calls)
+	}
+}
+
+func TestFaultyDuplicateDeliversTwice(t *testing.T) {
+	inner := &memoryTransport{}
+	f := NewFaulty(inner, FaultConfig{Seed: 1, Duplicate: 1})
+	resp, err := f.Exchange(2, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "\x02x" {
+		t.Fatalf("resp %q", resp)
+	}
+	if inner.calls != 2 {
+		t.Fatalf("duplicate must deliver twice, delivered %d", inner.calls)
+	}
+}
+
+func TestFaultyResetBreaksConnection(t *testing.T) {
+	inner := &memoryTransport{}
+	f := NewFaulty(inner, FaultConfig{Seed: 1, Reset: 1})
+	if _, err := f.Exchange(0, []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err %v", err)
+	}
+	if !inner.closed {
+		t.Fatal("reset must close the underlying connection")
+	}
+	// Subsequent exchanges fail fast like a dead socket.
+	if _, err := f.Exchange(0, []byte("y")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err %v", err)
+	}
+	if inner.calls != 0 {
+		t.Fatal("reset connection must not deliver")
+	}
+}
+
+func TestFaultyDelayDelays(t *testing.T) {
+	inner := &memoryTransport{}
+	f := NewFaulty(inner, FaultConfig{Seed: 3, Delay: 1, MaxDelay: 5 * time.Millisecond})
+	for i := 0; i < 5; i++ {
+		if _, err := f.Exchange(0, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Stats().Delays == 0 {
+		t.Fatal("delays not injected")
+	}
+	if inner.calls != 5 {
+		t.Fatalf("delay must still deliver, delivered %d", inner.calls)
+	}
+}
+
+func TestFaultyCleanPassthrough(t *testing.T) {
+	inner := &memoryTransport{}
+	f := NewFaulty(inner, FaultConfig{Seed: 1}) // all probabilities zero
+	for i := 0; i < 20; i++ {
+		resp, err := f.Exchange(1, []byte("ok"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp) != "\x01ok" {
+			t.Fatalf("resp %q", resp)
+		}
+	}
+	if s := f.Stats(); s != (FaultStats{}) {
+		t.Fatalf("faults injected with zero probabilities: %+v", s)
+	}
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -9,47 +10,68 @@ import (
 // connection when an exchange fails — workers on flaky links (the paper's
 // mobile/wireless motivation) retry instead of aborting training.
 //
-// Semantics: an exchange is retried as a whole. The DGS server is idempotent
-// per payload only in the sense that a *re-sent* update is re-applied, so
-// the wrapper retries only when the failure happened before any response
-// byte arrived (the underlying TCPClient fails the whole Exchange in that
-// case); a torn response surfaces as an error to the caller after the
-// retry budget is exhausted.
+// Retry semantics: an exchange is retried as a whole, with the same payload
+// bytes. On its own that is only safe when the server is idempotent; wrap
+// the retry loop in a SessionClient (see session.go) so retried frames
+// carry the same session and sequence number and the server's replay cache
+// deduplicates them — then a retry is exactly-once regardless of whether
+// the original request was lost before the server saw it or the response
+// was torn on the way back.
+//
+// Application errors are never retried: a *ServerError (explicit error frame
+// from the server) means the request was delivered and rejected, so
+// re-sending the identical bytes deterministically fails again. Only
+// network-level failures trigger a reconnect.
+//
+// Configuration: the zero value of MaxRetries and Backoff is honoured as
+// written — MaxRetries 0 disables retries (exactly one attempt) and
+// Backoff 0 sleeps nothing between attempts. NewReconnecting installs the
+// defaults (3 retries, 50 ms base backoff); construct the struct literally
+// when you want explicit zeros. Negative values are clamped to zero.
 type Reconnecting struct {
 	// Dial establishes a fresh connection.
 	Dial func() (Transport, error)
-	// MaxRetries bounds reconnect attempts per exchange (default 3).
+	// MaxRetries bounds reconnect attempts after the first try. 0 means no
+	// retries. NewReconnecting sets 3.
 	MaxRetries int
-	// Backoff is the base delay between attempts, doubled each retry
-	// (default 50 ms).
+	// Backoff is the base delay between attempts, doubled each retry. 0
+	// means no delay. NewReconnecting sets 50 ms.
 	Backoff time.Duration
+	// MaxBackoff caps the exponential doubling; without a cap a large
+	// MaxRetries sleeps for 2^MaxRetries×Backoff against a dead server. 0
+	// means uncapped. NewReconnecting sets 2 s.
+	MaxBackoff time.Duration
 
 	current Transport
 }
 
-// NewReconnecting wraps a dialer.
+// NewReconnecting wraps a dialer with the default retry policy (3 retries,
+// 50 ms exponential backoff capped at 2 s). Zero the fields afterwards to
+// disable any of them.
 func NewReconnecting(dial func() (Transport, error)) *Reconnecting {
-	return &Reconnecting{Dial: dial, MaxRetries: 3, Backoff: 50 * time.Millisecond}
+	return &Reconnecting{Dial: dial, MaxRetries: 3, Backoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second}
 }
 
 // Exchange implements Transport with reconnect-and-retry.
 func (r *Reconnecting) Exchange(worker int, payload []byte) ([]byte, error) {
 	var lastErr error
 	backoff := r.Backoff
-	if backoff <= 0 {
-		backoff = 50 * time.Millisecond
-	}
 	retries := r.MaxRetries
-	if retries <= 0 {
-		retries = 3
+	if retries < 0 {
+		retries = 0
 	}
 	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 && backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if r.MaxBackoff > 0 && backoff > r.MaxBackoff {
+				backoff = r.MaxBackoff
+			}
+		}
 		if r.current == nil {
 			t, err := r.Dial()
 			if err != nil {
 				lastErr = err
-				time.Sleep(backoff)
-				backoff *= 2
 				continue
 			}
 			r.current = t
@@ -58,11 +80,15 @@ func (r *Reconnecting) Exchange(worker int, payload []byte) ([]byte, error) {
 		if err == nil {
 			return resp, nil
 		}
+		var srvErr *ServerError
+		if errors.As(err, &srvErr) {
+			// Delivered and rejected: the connection is intact and a retry
+			// would fail identically. Surface it.
+			return nil, err
+		}
 		lastErr = err
 		r.current.Close()
 		r.current = nil
-		time.Sleep(backoff)
-		backoff *= 2
 	}
 	return nil, fmt.Errorf("transport: exchange failed after %d attempts: %w", retries+1, lastErr)
 }

@@ -1,0 +1,359 @@
+package transport
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Exactly-once session protocol.
+//
+// The raw framing in tcp.go delivers at-most-once per connection: a lost
+// request, a torn response, or a duplicated frame after a reconnect all
+// leave the client unsure whether the server applied the exchange. For a
+// DGS parameter server that ambiguity is fatal — Push is not idempotent
+// (a re-applied update subtracts g from M twice) and a dropped response
+// loses a model difference G the server has already committed to v_k,
+// permanently breaking the Eq. 5 invariant that the worker's replica
+// mirrors v_k. Residual-bearing sparse updates can never be recomputed,
+// so the transport has to deliver each exchange exactly once.
+//
+// The protocol adds a small envelope inside the existing frame payload:
+//
+//	request:  u32 magic "DGSS" | u8 version | u8 flags | u64 session |
+//	          u64 seq | application payload
+//	response: u32 magic "DGSR" | u8 version | u8 status | u64 epoch |
+//	          application payload (or error text)
+//
+// Each client incarnation owns one random session id; each logical exchange
+// gets the next sequence number. Retries (see Reconnecting) re-send the
+// same envelope bytes, so the server can recognise them: the ExactlyOnce
+// middleware keeps, per worker, the last sequence number it executed and
+// the full encoded response, and answers a repeated (session, seq) from
+// that replay cache without re-invoking the handler.
+//
+// Crash/rejoin: a client's first exchange carries flagHello. A hello with a
+// new session id declares a new worker incarnation — the middleware bumps
+// the worker's epoch, invokes the OnJoin hook (the parameter server resets
+// v_k there, so the first response ships a dense snapshot that rebuilds the
+// fresh replica), and adopts the session. Any non-hello frame whose session
+// does not match the current one is a straggler from a dead incarnation and
+// is rejected with statusStaleSession — it can never mutate server state.
+const (
+	sessionReqMagic  = 0x53534744 // "DGSS" little endian
+	sessionRespMagic = 0x52534744 // "DGSR" little endian
+	sessionVersion   = 1
+
+	reqHeaderLen  = 4 + 1 + 1 + 8 + 8
+	respHeaderLen = 4 + 1 + 1 + 8
+)
+
+const (
+	flagHello = 0x01
+)
+
+// Session-level response statuses. statusOK/statusError are shared with the
+// TCP framing layer (same semantics: OK payload vs error text).
+const (
+	statusStaleSession = 0x02
+	statusBadSeq       = 0x03
+)
+
+// ErrStaleSession is returned by SessionClient when the server has adopted a
+// newer incarnation for this worker id. The exchange was NOT applied.
+// Recovery means starting a fresh session (rebuild the replica and hello
+// again); retrying the same frame can never succeed.
+var ErrStaleSession = errors.New("transport: session superseded by a newer worker incarnation")
+
+// ErrBadSeq is returned when the server saw a sequence number it cannot
+// order against the worker's replay window — a protocol violation (e.g. two
+// live clients sharing a session). The exchange was NOT applied.
+var ErrBadSeq = errors.New("transport: sequence number out of order")
+
+func encodeSessionReq(flags byte, session, seq uint64, payload []byte) []byte {
+	buf := make([]byte, reqHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf, sessionReqMagic)
+	buf[4] = sessionVersion
+	buf[5] = flags
+	binary.LittleEndian.PutUint64(buf[6:], session)
+	binary.LittleEndian.PutUint64(buf[14:], seq)
+	copy(buf[reqHeaderLen:], payload)
+	return buf
+}
+
+func decodeSessionReq(b []byte) (flags byte, session, seq uint64, payload []byte, err error) {
+	if len(b) < reqHeaderLen || binary.LittleEndian.Uint32(b) != sessionReqMagic {
+		return 0, 0, 0, nil, errors.New("transport: not a session frame")
+	}
+	if b[4] != sessionVersion {
+		return 0, 0, 0, nil, fmt.Errorf("transport: session protocol version %d unsupported", b[4])
+	}
+	return b[5], binary.LittleEndian.Uint64(b[6:]), binary.LittleEndian.Uint64(b[14:]), b[reqHeaderLen:], nil
+}
+
+// IsSessionFrame reports whether a request payload carries the session
+// envelope. The ExactlyOnce middleware passes other payloads straight to
+// the inner handler, so sessionless clients (in-process loopback runs, old
+// tooling) keep working — without exactly-once guarantees.
+func IsSessionFrame(b []byte) bool {
+	return len(b) >= reqHeaderLen && binary.LittleEndian.Uint32(b) == sessionReqMagic
+}
+
+func encodeSessionResp(status byte, epoch uint64, payload []byte) []byte {
+	buf := make([]byte, respHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf, sessionRespMagic)
+	buf[4] = sessionVersion
+	buf[5] = status
+	binary.LittleEndian.PutUint64(buf[6:], epoch)
+	copy(buf[respHeaderLen:], payload)
+	return buf
+}
+
+func decodeSessionResp(b []byte) (status byte, epoch uint64, payload []byte, err error) {
+	if len(b) < respHeaderLen || binary.LittleEndian.Uint32(b) != sessionRespMagic {
+		return 0, 0, nil, errors.New("transport: not a session response")
+	}
+	if b[4] != sessionVersion {
+		return 0, 0, nil, fmt.Errorf("transport: session protocol version %d unsupported", b[4])
+	}
+	return b[5], binary.LittleEndian.Uint64(b[6:]), b[respHeaderLen:], nil
+}
+
+// SessionClient implements Transport on top of an inner transport (normally
+// a *Reconnecting), attaching the session envelope to every exchange. One
+// SessionClient is one worker incarnation: it owns a session id, numbers
+// its exchanges, and sends a hello on the first one so the server resyncs
+// the worker's state. Safe for use by a single worker goroutine (like
+// TCPClient, exchanges are serialised internally).
+type SessionClient struct {
+	// T is the inner transport. Retries inside T re-send the same envelope
+	// bytes, which is exactly what makes the server-side replay cache work.
+	T Transport
+	// SessionID identifies this incarnation. NewSessionClient draws a
+	// random one; tests may set it explicitly (must be nonzero).
+	SessionID uint64
+
+	mu          sync.Mutex
+	seq         uint64
+	established bool
+	epoch       uint64
+}
+
+// NewSessionClient wraps an inner transport with a fresh random session.
+func NewSessionClient(t Transport) *SessionClient {
+	return &SessionClient{T: t, SessionID: randomSession()}
+}
+
+func randomSession() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("transport: session id entropy unavailable: %v", err))
+	}
+	id := binary.LittleEndian.Uint64(b[:])
+	if id == 0 {
+		id = 1 // zero is reserved as "no session" in the server table
+	}
+	return id
+}
+
+// Epoch returns the worker epoch the server reported on the last successful
+// exchange (the incarnation counter; useful for logging and tests).
+func (c *SessionClient) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Exchange implements Transport. The first successful exchange of a client
+// performs the hello/resync handshake as a side effect; every exchange is
+// delivered to the application handler exactly once even when the inner
+// transport retries.
+func (c *SessionClient) Exchange(worker int, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	c.seq++
+	flags := byte(0)
+	if !c.established {
+		flags = flagHello
+	}
+	env := encodeSessionReq(flags, c.SessionID, c.seq, payload)
+	c.mu.Unlock()
+
+	raw, err := c.T.Exchange(worker, env)
+	if err != nil {
+		return nil, err
+	}
+	status, epoch, body, err := decodeSessionResp(raw)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.epoch = epoch
+	if status == statusOK {
+		c.established = true
+	}
+	c.mu.Unlock()
+	switch status {
+	case statusOK:
+		return body, nil
+	case statusError:
+		return nil, &ServerError{Msg: string(body)}
+	case statusStaleSession:
+		return nil, fmt.Errorf("%w (worker %d now at epoch %d)", ErrStaleSession, worker, epoch)
+	case statusBadSeq:
+		return nil, fmt.Errorf("%w (worker %d, epoch %d)", ErrBadSeq, worker, epoch)
+	default:
+		return nil, fmt.Errorf("transport: unknown session status 0x%02x", status)
+	}
+}
+
+// Close implements Transport.
+func (c *SessionClient) Close() error { return c.T.Close() }
+
+// SessionStats is a snapshot of the ExactlyOnce middleware counters.
+type SessionStats struct {
+	// Exchanges counts session frames executed against the handler.
+	Exchanges uint64
+	// Replays counts retried frames answered from the replay cache without
+	// re-invoking the handler.
+	Replays uint64
+	// Hellos counts new incarnations adopted (== resyncs triggered).
+	Hellos uint64
+	// StaleRejected counts frames rejected for carrying a superseded
+	// session.
+	StaleRejected uint64
+	// BadSeq counts frames rejected for unorderable sequence numbers.
+	BadSeq uint64
+	// Passthrough counts sessionless frames forwarded verbatim.
+	Passthrough uint64
+}
+
+// workerSession is the per-worker exactly-once state.
+type workerSession struct {
+	mu       sync.Mutex
+	session  uint64 // current incarnation's session id (0 = none yet)
+	epoch    uint64 // incarnation counter, bumped on every adopted hello
+	lastSeq  uint64 // highest executed sequence number
+	lastResp []byte // full encoded response for lastSeq (replay cache)
+}
+
+// ExactlyOnce is server-side middleware that upgrades any Handler to
+// exactly-once semantics under the session protocol: duplicate frames are
+// answered from a per-worker replay cache, stale incarnations are fenced
+// off by epoch, and new incarnations trigger the OnJoin resync hook before
+// their first exchange executes.
+type ExactlyOnce struct {
+	h Handler
+	// onJoin runs when a new incarnation of a worker is adopted, before its
+	// first exchange reaches the handler. The parameter server resets the
+	// worker's difference accumulator here.
+	onJoin func(worker int) error
+
+	mu      sync.Mutex
+	workers map[int]*workerSession
+	stats   SessionStats
+}
+
+// NewExactlyOnce wraps a handler. onJoin may be nil.
+func NewExactlyOnce(h Handler, onJoin func(worker int) error) *ExactlyOnce {
+	return &ExactlyOnce{h: h, onJoin: onJoin, workers: map[int]*workerSession{}}
+}
+
+// Stats snapshots the middleware counters.
+func (e *ExactlyOnce) Stats() SessionStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (e *ExactlyOnce) workerState(worker int) *workerSession {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ws := e.workers[worker]
+	if ws == nil {
+		ws = &workerSession{}
+		e.workers[worker] = ws
+	}
+	return ws
+}
+
+func (e *ExactlyOnce) count(f func(*SessionStats)) {
+	e.mu.Lock()
+	f(&e.stats)
+	e.mu.Unlock()
+}
+
+// Handle is the wrapped Handler: pass it to ListenTCP / NewLoopback.
+func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
+	if !IsSessionFrame(payload) {
+		// Sessionless client: forward verbatim, no exactly-once guarantee.
+		e.count(func(s *SessionStats) { s.Passthrough++ })
+		return e.h(worker, payload)
+	}
+	flags, session, seq, app, err := decodeSessionReq(payload)
+	if err != nil {
+		return nil, err
+	}
+	ws := e.workerState(worker)
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+
+	if session != ws.session {
+		if flags&flagHello == 0 {
+			// Straggler from a dead incarnation (or an unknown session that
+			// never said hello): fence it off without touching state.
+			e.count(func(s *SessionStats) { s.StaleRejected++ })
+			return encodeSessionResp(statusStaleSession, ws.epoch, nil), nil
+		}
+		// New incarnation: bump the epoch, resync, adopt. The hello frame
+		// itself then executes as the incarnation's first exchange, so its
+		// response carries the post-resync state (a dense snapshot when the
+		// handler is a DGS parameter server).
+		if e.onJoin != nil {
+			if err := e.onJoin(worker); err != nil {
+				return encodeSessionResp(statusError, ws.epoch,
+					[]byte(fmt.Sprintf("join worker %d: %v", worker, err))), nil
+			}
+		}
+		ws.session = session
+		ws.epoch++
+		// Baseline the replay window on the hello's own sequence number:
+		// frames the server never saw (lost before delivery) must not block
+		// the incarnation from joining.
+		ws.lastSeq = seq - 1
+		ws.lastResp = nil
+		e.count(func(s *SessionStats) { s.Hellos++ })
+	}
+
+	switch {
+	case seq == ws.lastSeq && ws.lastResp != nil:
+		// Retransmission of the last executed exchange (lost response,
+		// duplicated frame): answer from the cache, do NOT re-run the
+		// handler — this is the exactly-once guarantee.
+		e.count(func(s *SessionStats) { s.Replays++ })
+		return ws.lastResp, nil
+	case seq == ws.lastSeq+1:
+		resp, herr := e.h(worker, app)
+		var enc []byte
+		if herr != nil {
+			// Cache failures too: the handler rejected this frame without
+			// applying it (decode errors precede any mutation), and a retry
+			// of the same bytes must fail identically rather than re-enter
+			// the handler.
+			enc = encodeSessionResp(statusError, ws.epoch, []byte(herr.Error()))
+		} else {
+			enc = encodeSessionResp(statusOK, ws.epoch, resp)
+		}
+		ws.lastSeq = seq
+		ws.lastResp = enc
+		e.count(func(s *SessionStats) { s.Exchanges++ })
+		return enc, nil
+	default:
+		// A gap or a rewind beyond the one-deep replay window. With one
+		// serialised client per session this cannot happen; refuse rather
+		// than guess.
+		e.count(func(s *SessionStats) { s.BadSeq++ })
+		return encodeSessionResp(statusBadSeq, ws.epoch, nil), nil
+	}
+}

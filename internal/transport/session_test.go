@@ -1,0 +1,362 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingHandler records every invocation so tests can prove a handler ran
+// exactly once per logical exchange.
+type countingHandler struct {
+	mu    sync.Mutex
+	calls []string
+	fail  map[string]bool // payloads that should error
+}
+
+func (c *countingHandler) handle(worker int, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls = append(c.calls, string(payload))
+	if c.fail[string(payload)] {
+		return nil, errors.New("handler rejected " + string(payload))
+	}
+	return []byte(fmt.Sprintf("w%d:%s", worker, payload)), nil
+}
+
+func (c *countingHandler) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.calls)
+}
+
+func TestSessionEnvelopeRoundTrip(t *testing.T) {
+	req := encodeSessionReq(flagHello, 0xdeadbeef, 42, []byte("payload"))
+	if !IsSessionFrame(req) {
+		t.Fatal("encoded request not recognised as session frame")
+	}
+	flags, sess, seq, body, err := decodeSessionReq(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags != flagHello || sess != 0xdeadbeef || seq != 42 || !bytes.Equal(body, []byte("payload")) {
+		t.Fatalf("decoded %x %x %d %q", flags, sess, seq, body)
+	}
+	resp := encodeSessionResp(statusOK, 7, []byte("resp"))
+	st, epoch, rbody, err := decodeSessionResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != statusOK || epoch != 7 || !bytes.Equal(rbody, []byte("resp")) {
+		t.Fatalf("decoded %x %d %q", st, epoch, rbody)
+	}
+	if IsSessionFrame([]byte("short")) || IsSessionFrame(nil) {
+		t.Fatal("non-session payloads must not be recognised")
+	}
+}
+
+// The exactly-once guarantee: re-delivering the same (session, seq) frame
+// must answer from the replay cache without re-invoking the handler.
+func TestExactlyOnceReplaysDuplicateFrame(t *testing.T) {
+	h := &countingHandler{}
+	eo := NewExactlyOnce(h.handle, nil)
+
+	frame := encodeSessionReq(flagHello, 99, 1, []byte("push-a"))
+	first, err := eo.Handle(3, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same frame again (torn response retry / duplicated delivery).
+	second, err := eo.Handle(3, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("replayed response differs from the original")
+	}
+	if h.count() != 1 {
+		t.Fatalf("handler ran %d times for one logical exchange", h.count())
+	}
+	st := eo.Stats()
+	if st.Exchanges != 1 || st.Replays != 1 {
+		t.Fatalf("stats %+v, want 1 exchange + 1 replay", st)
+	}
+	// The next sequence number executes normally.
+	next := encodeSessionReq(0, 99, 2, []byte("push-b"))
+	if _, err := eo.Handle(3, next); err != nil {
+		t.Fatal(err)
+	}
+	if h.count() != 2 {
+		t.Fatalf("handler ran %d times for two logical exchanges", h.count())
+	}
+}
+
+func TestExactlyOnceHelloTriggersJoinOnce(t *testing.T) {
+	h := &countingHandler{}
+	var joins atomic.Int64
+	eo := NewExactlyOnce(h.handle, func(worker int) error {
+		joins.Add(1)
+		return nil
+	})
+	frame := encodeSessionReq(flagHello, 5, 1, []byte("x"))
+	if _, err := eo.Handle(0, frame); err != nil {
+		t.Fatal(err)
+	}
+	// Retried hello replays; it must not resync a second time.
+	if _, err := eo.Handle(0, frame); err != nil {
+		t.Fatal(err)
+	}
+	if joins.Load() != 1 {
+		t.Fatalf("join ran %d times", joins.Load())
+	}
+	// A new incarnation joins again and starts its own sequence space.
+	frame2 := encodeSessionReq(flagHello, 6, 1, []byte("y"))
+	resp, err := eo.Handle(0, frame2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joins.Load() != 2 {
+		t.Fatalf("rejoin did not trigger the hook (%d joins)", joins.Load())
+	}
+	_, epoch, _, err := decodeSessionResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("epoch %d after two incarnations, want 2", epoch)
+	}
+}
+
+func TestExactlyOnceFencesStaleIncarnation(t *testing.T) {
+	h := &countingHandler{}
+	eo := NewExactlyOnce(h.handle, nil)
+	// Incarnation A joins and pushes.
+	if _, err := eo.Handle(1, encodeSessionReq(flagHello, 10, 1, []byte("a1"))); err != nil {
+		t.Fatal(err)
+	}
+	// Incarnation B takes over.
+	if _, err := eo.Handle(1, encodeSessionReq(flagHello, 11, 1, []byte("b1"))); err != nil {
+		t.Fatal(err)
+	}
+	calls := h.count()
+	// A's in-flight push arrives late: it must be rejected without running.
+	resp, err := eo.Handle(1, encodeSessionReq(0, 10, 2, []byte("a2")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, _, err := decodeSessionResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != statusStaleSession {
+		t.Fatalf("status 0x%02x, want stale session", st)
+	}
+	if h.count() != calls {
+		t.Fatal("stale frame reached the handler")
+	}
+	if eo.Stats().StaleRejected != 1 {
+		t.Fatalf("stats %+v", eo.Stats())
+	}
+}
+
+func TestExactlyOnceRejectsSequenceGap(t *testing.T) {
+	h := &countingHandler{}
+	eo := NewExactlyOnce(h.handle, nil)
+	if _, err := eo.Handle(0, encodeSessionReq(flagHello, 20, 1, []byte("a"))); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := eo.Handle(0, encodeSessionReq(0, 20, 5, []byte("jump")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, _, _ := decodeSessionResp(resp)
+	if st != statusBadSeq {
+		t.Fatalf("status 0x%02x, want bad seq", st)
+	}
+	if h.count() != 1 {
+		t.Fatal("gapped frame must not run")
+	}
+}
+
+func TestExactlyOnceCachesHandlerErrors(t *testing.T) {
+	h := &countingHandler{fail: map[string]bool{"bad": true}}
+	eo := NewExactlyOnce(h.handle, nil)
+	if _, err := eo.Handle(0, encodeSessionReq(flagHello, 30, 1, []byte("ok"))); err != nil {
+		t.Fatal(err)
+	}
+	frame := encodeSessionReq(0, 30, 2, []byte("bad"))
+	r1, err := eo.Handle(0, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := eo.Handle(0, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("replayed error frame differs")
+	}
+	st, _, body, _ := decodeSessionResp(r1)
+	if st != statusError || len(body) == 0 {
+		t.Fatalf("status 0x%02x body %q, want cached error frame", st, body)
+	}
+	if h.count() != 2 {
+		t.Fatalf("handler ran %d times; the failed exchange must not re-run", h.count())
+	}
+}
+
+func TestExactlyOncePassthroughForSessionlessClients(t *testing.T) {
+	h := &countingHandler{}
+	eo := NewExactlyOnce(h.handle, nil)
+	resp, err := eo.Handle(2, []byte("legacy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "w2:legacy" {
+		t.Fatalf("resp %q", resp)
+	}
+	if eo.Stats().Passthrough != 1 {
+		t.Fatalf("stats %+v", eo.Stats())
+	}
+	// Empty payloads (drain pushes from sessionless clients) pass through too.
+	if _, err := eo.Handle(2, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionClientSurfacesStatuses(t *testing.T) {
+	h := &countingHandler{fail: map[string]bool{"bad": true}}
+	eo := NewExactlyOnce(h.handle, nil)
+	lb := NewLoopback(eo.Handle)
+	sc := &SessionClient{T: lb, SessionID: 77}
+	resp, err := sc.Exchange(0, []byte("fine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "w0:fine" {
+		t.Fatalf("resp %q", resp)
+	}
+	if sc.Epoch() != 1 {
+		t.Fatalf("epoch %d after hello, want 1", sc.Epoch())
+	}
+	var srvErr *ServerError
+	if _, err := sc.Exchange(0, []byte("bad")); !errors.As(err, &srvErr) {
+		t.Fatalf("err %v, want ServerError", err)
+	}
+	// A second incarnation fences the first out.
+	sc2 := &SessionClient{T: lb, SessionID: 78}
+	if _, err := sc2.Exchange(0, []byte("takeover")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Exchange(0, []byte("late")); !errors.Is(err, ErrStaleSession) {
+		t.Fatalf("err %v, want ErrStaleSession", err)
+	}
+}
+
+// tornOnce fails an exchange AFTER the inner transport processed it, exactly
+// once — the classic torn response.
+type tornOnce struct {
+	inner Transport
+	torn  bool
+}
+
+func (f *tornOnce) Exchange(worker int, payload []byte) ([]byte, error) {
+	resp, err := f.inner.Exchange(worker, payload)
+	if err != nil {
+		return nil, err
+	}
+	if !f.torn {
+		f.torn = true
+		return nil, errors.New("torn response")
+	}
+	return resp, nil
+}
+
+func (f *tornOnce) Close() error { return f.inner.Close() }
+
+// End-to-end exactly-once: SessionClient over a retrying transport whose
+// first response is torn. The server must execute the exchange once and the
+// retry must observe the cached response.
+func TestSessionClientRetryAfterTornResponseIsExactlyOnce(t *testing.T) {
+	h := &countingHandler{}
+	eo := NewExactlyOnce(h.handle, nil)
+	lb := NewLoopback(eo.Handle)
+	torn := &tornOnce{inner: lb} // shared across redials: tears exactly one response
+	rc := NewReconnecting(func() (Transport, error) { return torn, nil })
+	rc.Backoff = time.Millisecond
+	sc := &SessionClient{T: rc, SessionID: 123}
+	resp, err := sc.Exchange(4, []byte("grad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "w4:grad" {
+		t.Fatalf("resp %q", resp)
+	}
+	if h.count() != 1 {
+		t.Fatalf("handler ran %d times; the torn-response retry must be deduplicated", h.count())
+	}
+	st := eo.Stats()
+	if st.Replays != 1 {
+		t.Fatalf("stats %+v, want exactly one replay", st)
+	}
+}
+
+// The full stack over real sockets: SessionClient → Reconnecting → Faulty →
+// TCPClient against a TCPServer, with every fault class enabled. Each
+// logical exchange must reach the handler exactly once, in order.
+func TestSessionOverFaultyTCPDeliversExactlyOnce(t *testing.T) {
+	h := &countingHandler{}
+	eo := NewExactlyOnce(h.handle, nil)
+	srv, err := ListenTCP("127.0.0.1:0", eo.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var dials atomic.Uint64
+	rc := NewReconnecting(func() (Transport, error) {
+		c, err := DialTCP(srv.Addr())
+		if err != nil {
+			return nil, err
+		}
+		return NewFaulty(c, FaultConfig{
+			Seed:           dials.Add(1),
+			DropBeforeSend: 0.1,
+			DropAfterSend:  0.1,
+			Duplicate:      0.1,
+			Reset:          0.05,
+			Delay:          0.1,
+			MaxDelay:       200 * time.Microsecond,
+		}), nil
+	})
+	rc.MaxRetries = 50
+	rc.Backoff = 200 * time.Microsecond
+	sc := &SessionClient{T: rc, SessionID: 4242}
+	defer sc.Close()
+
+	const rounds = 60
+	for i := 0; i < rounds; i++ {
+		msg := fmt.Sprintf("m%03d", i)
+		resp, err := sc.Exchange(1, []byte(msg))
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if string(resp) != "w1:"+msg {
+			t.Fatalf("round %d: resp %q", i, resp)
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.calls) != rounds {
+		t.Fatalf("handler ran %d times for %d logical exchanges", len(h.calls), rounds)
+	}
+	for i, call := range h.calls {
+		if want := fmt.Sprintf("m%03d", i); call != want {
+			t.Fatalf("call %d was %q, want %q — ordering broken", i, call, want)
+		}
+	}
+}

@@ -7,20 +7,61 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Wire framing (little endian):
 //
 //	request:  u32 payload length | u32 worker id | payload
-//	response: u32 payload length | payload
+//	response: u32 payload length | u8 status | payload
+//
+// The response status byte distinguishes a successful exchange (statusOK,
+// payload is the handler's response) from a handler failure (statusError,
+// payload is the error message). Explicit error frames keep the connection
+// alive and let the client tell an application error apart from a network
+// fault — a crucial distinction for retry layers, because retrying an
+// application error re-submits a request the server already rejected,
+// while retrying a network fault is safe under the exactly-once session
+// protocol (see session.go).
 //
 // maxFrame bounds allocations against corrupt or hostile length prefixes.
 const maxFrame = 1 << 30
 
+const (
+	statusOK    = 0x00
+	statusError = 0x01
+)
+
+// ServerError is an application-level failure reported by the server through
+// an explicit error frame. It indicates the request reached the server and
+// was rejected by the handler — the connection and the stream framing are
+// intact, and retrying the same request will deterministically fail again,
+// so retry layers must not treat it as a network fault.
+type ServerError struct{ Msg string }
+
+// Error implements error.
+func (e *ServerError) Error() string { return "transport: server error: " + e.Msg }
+
+// ErrBrokenConn is returned by TCPClient.Exchange after a previous exchange
+// failed partway through a frame. The stream position is then unknown
+// (a half-written request or half-read response would desynchronise all
+// subsequent frames), so the client refuses further use instead of
+// interleaving garbage; callers reconnect to recover.
+var ErrBrokenConn = errors.New("transport: connection broken by earlier partial frame")
+
 // TCPServer accepts worker connections and dispatches frames to a Handler.
 type TCPServer struct {
-	H        Handler
-	Traffic  *Traffic
+	H       Handler
+	Traffic *Traffic
+
+	// ExchangeTimeout, when positive, bounds each exchange: once a request
+	// header arrives, reading the payload, running the handler, and writing
+	// the response must complete within this budget or the connection is
+	// closed. Set it before the first client connects. Waiting for the next
+	// request header is not bounded (idle workers computing a batch are
+	// fine).
+	ExchangeTimeout time.Duration
+
 	listener net.Listener
 
 	mu     sync.Mutex
@@ -78,6 +119,14 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
 		}
+		// The request header marks the start of an exchange: from here the
+		// per-exchange deadline applies to the payload, the handler, and the
+		// response write.
+		if s.ExchangeTimeout > 0 {
+			if err := conn.SetDeadline(time.Now().Add(s.ExchangeTimeout)); err != nil {
+				return
+			}
+		}
 		n := binary.LittleEndian.Uint32(hdr[:4])
 		worker := binary.LittleEndian.Uint32(hdr[4:])
 		if n > maxFrame {
@@ -87,20 +136,47 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
-		resp, err := s.H(int(worker), payload)
+		resp, err := s.callHandler(int(worker), payload)
+		status := byte(statusOK)
 		if err != nil {
-			return
+			// Handler failure: report it as an explicit error frame and keep
+			// serving. Dropping the connection here would masquerade as a
+			// network fault and trigger a pointless (or, pre-session-layer,
+			// unsafe) retry on the client.
+			status = statusError
+			resp = []byte(err.Error())
 		}
-		var rhdr [4]byte
-		binary.LittleEndian.PutUint32(rhdr[:], uint32(len(resp)))
+		var rhdr [5]byte
+		binary.LittleEndian.PutUint32(rhdr[:4], uint32(len(resp)))
+		rhdr[4] = status
 		if _, err := conn.Write(rhdr[:]); err != nil {
 			return
 		}
 		if _, err := conn.Write(resp); err != nil {
 			return
 		}
-		s.Traffic.Record(int(n), len(resp))
+		if status == statusOK {
+			s.Traffic.Record(int(n), len(resp))
+		}
+		if s.ExchangeTimeout > 0 {
+			if err := conn.SetDeadline(time.Time{}); err != nil {
+				return
+			}
+		}
 	}
+}
+
+// callHandler invokes the handler with a panic barrier: a panic provoked by
+// one client's frame (e.g. a worker pushing mismatched model geometry) must
+// come back as an error frame on that client's connection, not take down
+// the server for every other worker.
+func (s *TCPServer) callHandler(worker int, payload []byte) (resp []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("handler panic: %v", r)
+		}
+	}()
+	return s.H(worker, payload)
 }
 
 // Close stops accepting, closes every connection, and waits for handler
@@ -124,9 +200,17 @@ func (s *TCPServer) Close() error {
 // TCPClient is the worker-side transport over one TCP connection. A client
 // serialises its own exchanges; use one client per worker goroutine.
 type TCPClient struct {
-	conn    net.Conn
 	Traffic *Traffic
-	mu      sync.Mutex
+
+	// ExchangeTimeout, when positive, bounds one whole Exchange round trip
+	// (request write + response read). Set it before the first Exchange. A
+	// deadline expiry breaks the connection (the stream position is
+	// unknown), so pair timeouts with a reconnect layer.
+	ExchangeTimeout time.Duration
+
+	conn   net.Conn
+	mu     sync.Mutex
+	broken bool
 }
 
 // DialTCP connects to a TCPServer.
@@ -138,30 +222,58 @@ func DialTCP(addr string) (*TCPClient, error) {
 	return &TCPClient{conn: conn, Traffic: &Traffic{}}, nil
 }
 
-// Exchange implements Transport.
+// Exchange implements Transport. After any partial write or read failure the
+// connection is marked broken and every subsequent call fails fast with
+// ErrBrokenConn: a half-transmitted frame leaves the stream desynchronised,
+// and continuing would silently pair requests with the wrong responses.
 func (c *TCPClient) Exchange(worker int, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return nil, ErrBrokenConn
+	}
+	if c.ExchangeTimeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.ExchangeTimeout)); err != nil {
+			c.broken = true
+			return nil, fmt.Errorf("transport: set deadline: %w", err)
+		}
+	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(worker))
 	if _, err := c.conn.Write(hdr[:]); err != nil {
+		c.broken = true
 		return nil, fmt.Errorf("transport: write header: %w", err)
 	}
 	if _, err := c.conn.Write(payload); err != nil {
+		c.broken = true
 		return nil, fmt.Errorf("transport: write payload: %w", err)
 	}
-	var rhdr [4]byte
+	var rhdr [5]byte
 	if _, err := io.ReadFull(c.conn, rhdr[:]); err != nil {
+		c.broken = true
 		return nil, fmt.Errorf("transport: read response header: %w", err)
 	}
-	n := binary.LittleEndian.Uint32(rhdr[:])
+	n := binary.LittleEndian.Uint32(rhdr[:4])
+	status := rhdr[4]
 	if n > maxFrame {
+		c.broken = true
 		return nil, errors.New("transport: response frame too large")
 	}
 	resp := make([]byte, n)
 	if _, err := io.ReadFull(c.conn, resp); err != nil {
+		c.broken = true
 		return nil, fmt.Errorf("transport: read response: %w", err)
+	}
+	if c.ExchangeTimeout > 0 {
+		if err := c.conn.SetDeadline(time.Time{}); err != nil {
+			c.broken = true
+			return nil, fmt.Errorf("transport: clear deadline: %w", err)
+		}
+	}
+	if status != statusOK {
+		// The frame itself was intact, so the connection stays usable.
+		return nil, &ServerError{Msg: string(resp)}
 	}
 	c.Traffic.Record(len(payload), len(resp))
 	return resp, nil
