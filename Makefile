@@ -1,7 +1,7 @@
 # Tier-1 verification for this repo. `make check` is what CI and every PR
 # must keep green: build, vet, then the full test suite under the race
 # detector (the async exchange paths are required to be race-clean).
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-paper
 
 check: build vet race
 
@@ -17,5 +17,19 @@ test:
 race:
 	go test -race ./...
 
+# Benchmarks live next to `check` but stay out of it so the race tier stays
+# fast. `make bench` refreshes the tracked hot-path baseline (BENCH_PR2.json:
+# kernel speedups vs the frozen pre-PR GEMMs plus the zero-allocation
+# checks), then spot-runs the paper-shape benchmarks once each in short mode
+# as a guard that they still complete. BENCHTIME trades accuracy for speed,
+# e.g. `make bench BENCHTIME=100ms`.
+BENCHTIME ?= 1s
+
 bench:
-	go test -bench . -benchtime 1x
+	go run ./cmd/dgs-bench -microbench -benchtime $(BENCHTIME)
+	$(MAKE) bench-paper
+
+# The paper benchmarks run full (short-scale) training per artefact, so the
+# suite needs more than go test's default 10-minute budget on small hosts.
+bench-paper:
+	go test -short -bench . -benchtime 1x -run '^$$' -timeout 60m

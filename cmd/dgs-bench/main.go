@@ -1,4 +1,5 @@
-// Command dgs-bench regenerates the paper's tables and figures.
+// Command dgs-bench regenerates the paper's tables and figures, and runs
+// the tracked hot-path microbenchmarks.
 //
 // Usage:
 //
@@ -7,28 +8,75 @@
 //	dgs-bench -exp table3 -full       # paper-faithful scale
 //	dgs-bench -all                    # everything (slow at -full)
 //	dgs-bench -exp figure2 -out dir   # also write report text files
+//	dgs-bench -microbench             # kernel/hot-path benchmarks → BENCH_PR2.json
+//	dgs-bench -microbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"dgs/internal/bench"
 	"dgs/internal/experiments"
 )
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list available experiments")
-		exp  = flag.String("exp", "", "experiment id to run (see -list)")
-		all  = flag.Bool("all", false, "run every experiment")
-		full = flag.Bool("full", false, "paper-faithful scale (slow); default is short scale")
-		out  = flag.String("out", "", "directory to also write report text files into")
+		list       = flag.Bool("list", false, "list available experiments")
+		exp        = flag.String("exp", "", "experiment id to run (see -list)")
+		all        = flag.Bool("all", false, "run every experiment")
+		full       = flag.Bool("full", false, "paper-faithful scale (slow); default is short scale")
+		out        = flag.String("out", "", "directory to also write report text files into")
+		micro      = flag.Bool("microbench", false, "run the tracked microbenchmarks and write a JSON report")
+		microOut   = flag.String("json", "BENCH_PR2.json", "microbenchmark report path (with -microbench)")
+		benchtime  = flag.String("benchtime", "", "per-benchmark time or count for -microbench (e.g. 1s, 100x)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
+			}
+		}()
+	}
+
+	if *micro {
+		if err := runMicro(*microOut, *benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -77,4 +125,28 @@ func main() {
 			}
 		}
 	}
+}
+
+// runMicro runs the tracked microbenchmarks and writes the JSON report.
+func runMicro(path, benchtime string) error {
+	rep, err := bench.RunMicro(benchtime)
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-24s %14.0f ns/op %8d B/op %6d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	for key, s := range rep.Speedups {
+		fmt.Printf("%-24s %.2fx vs baseline\n", key, s)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[microbench report written to %s]\n", path)
+	return nil
 }

@@ -1,0 +1,207 @@
+// Package bench runs the repo's tracked microbenchmarks: the blocked GEMM
+// engine against the frozen pre-PR baseline kernels, plus the
+// zero-allocation hot-path checks (conv backward, codec round-trip,
+// ps.Push, Top-k selection). `dgs-bench -microbench` runs these and writes
+// the report to BENCH_PR2.json, the committed performance baseline.
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"dgs/internal/nn"
+	"dgs/internal/ps"
+	"dgs/internal/sparse"
+	"dgs/internal/tensor"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the microbenchmark report serialised to BENCH_PR2.json.
+type Report struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// SIMDKernel records whether the AVX2+FMA micro-kernel was active; the
+	// committed speedup numbers assume it is.
+	SIMDKernel bool     `json:"simd_kernel"`
+	Results    []Result `json:"results"`
+	// Speedups compares each new kernel against its frozen pre-PR baseline
+	// (baseline ns / new ns) at the same shape.
+	Speedups map[string]float64 `json:"speedups_vs_baseline"`
+}
+
+// RunMicro executes the registry. benchtime is a testing -benchtime value
+// ("1s", "100x", ...); empty keeps the default 1s per benchmark.
+func RunMicro(benchtime string) (*Report, error) {
+	testing.Init()
+	if benchtime != "" {
+		if err := flag.Set("test.benchtime", benchtime); err != nil {
+			return nil, fmt.Errorf("bench: bad benchtime %q: %w", benchtime, err)
+		}
+	}
+	rep := &Report{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		SIMDKernel: tensor.SIMDKernelEnabled(),
+		Speedups:   map[string]float64{},
+	}
+	run := func(name string, fn func(b *testing.B)) Result {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		res := Result{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		rep.Results = append(rep.Results, res)
+		return res
+	}
+	pair := func(key string, newFn, baseFn func(b *testing.B)) {
+		n := run(key, newFn)
+		b := run(key+"_baseline", baseFn)
+		if n.NsPerOp > 0 {
+			rep.Speedups[key] = b.NsPerOp / n.NsPerOp
+		}
+	}
+
+	// GEMM kernels: the tentpole 128³ shape plus the two conv-backward
+	// shapes (second conv of the CIFAR CNN: 32 output channels, 288-row
+	// im2col patch, 16×16 output plane per batch of 4 images → n=1024).
+	pair("gemm_128",
+		gemmBench(tensor.Gemm, 128, 128, 128),
+		gemmBench(tensor.BaselineGemm, 128, 128, 128))
+	pair("gemm_ta_conv",
+		gemmTABench(tensor.GemmTA, 32, 288, 1024),
+		gemmTABench(tensor.BaselineGemmTA, 32, 288, 1024))
+	pair("gemm_tb_conv",
+		gemmTBBench(tensor.GemmTB, 32, 1024, 288),
+		gemmTBBench(tensor.BaselineGemmTB, 32, 1024, 288))
+
+	run("conv_backward", benchConvBackward)
+	run("codec_roundtrip", benchCodecRoundTrip)
+	run("ps_push", benchPsPush)
+	run("topk_1m", benchTopK)
+	return rep, nil
+}
+
+type gemmFn func(alpha float32, a []float32, d1, d2 int, b []float32, d3 int, beta float32, c []float32)
+
+func fill(rng *tensor.RNG, n int) []float32 {
+	x := make([]float32, n)
+	rng.FillNormal(x, 0, 1)
+	return x
+}
+
+// gemmBench benchmarks C(m,n) = A(m,k)·B(k,n).
+func gemmBench(fn gemmFn, m, k, n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := tensor.NewRNG(1)
+		a, bb, c := fill(rng, m*k), fill(rng, k*n), make([]float32, m*n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn(1, a, m, k, bb, n, 0, c)
+		}
+	}
+}
+
+// gemmTABench benchmarks C(m,n) = Aᵀ·B with A stored k×m.
+func gemmTABench(fn gemmFn, k, m, n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := tensor.NewRNG(2)
+		a, bb, c := fill(rng, k*m), fill(rng, k*n), make([]float32, m*n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn(1, a, k, m, bb, n, 0, c)
+		}
+	}
+}
+
+// gemmTBBench benchmarks C(m,n) = A·Bᵀ with B stored n×k.
+func gemmTBBench(fn gemmFn, m, k, n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := tensor.NewRNG(3)
+		a, bb, c := fill(rng, m*k), fill(rng, n*k), make([]float32, m*n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn(1, a, m, k, bb, n, 0, c)
+		}
+	}
+}
+
+// benchConvBackward measures the steady-state conv backward pass (the
+// zero-allocation criterion: scratch is reused after the first call).
+func benchConvBackward(b *testing.B) {
+	rng := tensor.NewRNG(4)
+	conv := nn.NewConv2D("bench", 32, 32, 3, 1, 1, rng)
+	x := tensor.New(4, 32, 16, 16)
+	rng.FillNormal(x.Data, 0, 1)
+	y := conv.Forward(x, true)
+	g := tensor.New(y.Shape...)
+	rng.FillNormal(g.Data, 0, 1)
+	conv.Backward(g) // warm the scratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Backward(g)
+	}
+}
+
+// testUpdate builds a representative sparse update: 1% of a CNN-sized model.
+func testUpdate(rng *tensor.RNG) *sparse.Update {
+	sizes := []int{864, 32, 9216, 32, 18432, 64, 65536, 128, 1280, 10}
+	u := &sparse.Update{}
+	var sel sparse.Selector
+	for layer, n := range sizes {
+		x := fill(rng, n)
+		k := sparse.KForRatio(n, 0.01)
+		idx := sel.TopK(x, k)
+		c := u.NextChunk()
+		sparse.GatherInto(c, layer, x, idx)
+	}
+	return u
+}
+
+func benchCodecRoundTrip(b *testing.B) {
+	u := testUpdate(tensor.NewRNG(5))
+	var buf []byte
+	var dec sparse.Update
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = sparse.AppendEncode(buf[:0], u)
+		if err := sparse.DecodeInto(&dec, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPsPush(b *testing.B) {
+	sizes := []int{864, 32, 9216, 32, 18432, 64, 65536, 128, 1280, 10}
+	srv := ps.NewServer(ps.Config{LayerSizes: sizes, Workers: 1})
+	g := testUpdate(tensor.NewRNG(6))
+	srv.Push(0, g) // warm the per-worker scratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Push(0, g)
+	}
+}
+
+func benchTopK(b *testing.B) {
+	x := fill(tensor.NewRNG(7), 1<<20)
+	k := sparse.KForRatio(len(x), 0.01)
+	var sel sparse.Selector
+	sel.TopK(x, k) // warm the scratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel.TopK(x, k)
+	}
+}

@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"testing"
+
+	"dgs/internal/raceflag"
+	"dgs/internal/tensor"
+)
+
+// TestConvBackwardSteadyStateAllocs locks the hot-path contract: after the
+// first backward pass warms the scratch, Conv2D.Backward allocates nothing.
+func TestConvBackwardSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector perturbs sync.Pool reuse; alloc counts unreliable")
+	}
+	rng := tensor.NewRNG(51)
+	conv := NewConv2D("c", 8, 8, 3, 1, 1, rng)
+	x := tensor.New(2, 8, 12, 12)
+	rng.FillNormal(x.Data, 0, 1)
+	y := conv.Forward(x, true)
+	g := tensor.New(y.Shape...)
+	rng.FillNormal(g.Data, 0, 1)
+	conv.Backward(g) // warm dcols and the dx buffer
+	if allocs := testing.AllocsPerRun(10, func() { conv.Backward(g) }); allocs > 0 {
+		t.Fatalf("steady-state conv backward allocates %v objects, want 0", allocs)
+	}
+}
+
+// TestLinearBackwardSteadyStateAllocs does the same for Linear.
+func TestLinearBackwardSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector perturbs sync.Pool reuse; alloc counts unreliable")
+	}
+	rng := tensor.NewRNG(52)
+	l := NewLinear("l", 64, 32, rng)
+	x := tensor.New(16, 64)
+	rng.FillNormal(x.Data, 0, 1)
+	y := l.Forward(x, true)
+	g := tensor.New(y.Shape...)
+	rng.FillNormal(g.Data, 0, 1)
+	l.Backward(g)
+	if allocs := testing.AllocsPerRun(10, func() { l.Backward(g) }); allocs > 0 {
+		t.Fatalf("steady-state linear backward allocates %v objects, want 0", allocs)
+	}
+}
+
+// TestConvBackwardBatchChange verifies the dx buffer follows shape changes
+// (e.g. the dataset's final partial batch).
+func TestConvBackwardBatchChange(t *testing.T) {
+	rng := tensor.NewRNG(53)
+	conv := NewConv2D("c", 2, 3, 3, 1, 1, rng)
+	for _, batch := range []int{4, 1, 4} {
+		x := tensor.New(batch, 2, 6, 6)
+		rng.FillNormal(x.Data, 0, 1)
+		y := conv.Forward(x, true)
+		g := tensor.New(y.Shape...)
+		rng.FillNormal(g.Data, 0, 1)
+		dx := conv.Backward(g)
+		if dx.Dim(0) != batch || dx.Dim(1) != 2 || dx.Dim(2) != 6 || dx.Dim(3) != 6 {
+			t.Fatalf("batch %d: dx shape %v", batch, dx.Shape)
+		}
+	}
+}

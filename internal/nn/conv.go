@@ -17,6 +17,12 @@ type Conv2D struct {
 	lastCols []float32 // im2col of the last training input (per batch image, reused)
 	colsBuf  []float32
 	h, w     int // input spatial dims from the last Forward
+
+	// Backward scratch, reused across iterations. dxBuf is handed to the
+	// caller, which per the Layer contract consumes it before the next
+	// Backward; dcols never escapes.
+	dxBuf *tensor.Tensor
+	dcols []float32
 }
 
 // NewConv2D creates a convolution layer with Kaiming init.
@@ -87,8 +93,14 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	cols := oh * ow
 	krows := c.InC * c.KH * c.KW
 	colSize := krows * cols
-	dx := tensor.New(batch, c.InC, c.h, c.w)
-	dcols := make([]float32, colSize)
+	if c.dxBuf == nil || c.dxBuf.Dim(0) != batch || c.dxBuf.Dim(2) != c.h || c.dxBuf.Dim(3) != c.w {
+		c.dxBuf = tensor.New(batch, c.InC, c.h, c.w)
+	}
+	dx := c.dxBuf // fully overwritten below: Col2Im zeroes each image region
+	if cap(c.dcols) < colSize {
+		c.dcols = make([]float32, colSize)
+	}
+	dcols := c.dcols[:colSize] // fully overwritten: GemmTA runs with beta=0
 
 	for b := 0; b < batch; b++ {
 		g := grad.Data[b*c.OutC*cols : (b+1)*c.OutC*cols]

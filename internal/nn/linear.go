@@ -13,6 +13,7 @@ type Linear struct {
 	W, B    *Param
 
 	lastX *tensor.Tensor // cached input for Backward
+	dxBuf *tensor.Tensor // reused dX; consumed by the caller before the next Backward
 }
 
 // NewLinear creates a Linear layer with Kaiming-initialised weights.
@@ -58,7 +59,10 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		tensor.Axpy(1, grad.Data[i*l.Out:(i+1)*l.Out], l.B.Grad.Data)
 	}
 	// dX(batch,in) = grad(batch,out) * W(out,in)
-	dx := tensor.New(batch, l.In)
+	if l.dxBuf == nil || l.dxBuf.Dim(0) != batch {
+		l.dxBuf = tensor.New(batch, l.In)
+	}
+	dx := l.dxBuf // fully overwritten: Gemm runs with beta=0
 	tensor.Gemm(1, grad.Data, batch, l.Out, l.W.Value.Data, l.In, 0, dx.Data)
 	return dx
 }

@@ -17,6 +17,10 @@
 package optim
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"dgs/internal/sparse"
 )
 
@@ -24,12 +28,120 @@ import (
 type WorkerOptimizer interface {
 	// Prepare consumes per-layer gradients (owned by the caller; Prepare
 	// must not retain them) and the current learning rate, updates internal
-	// state, and returns the update to send.
+	// state, and returns the update to send. The returned update aliases
+	// optimizer state and scratch: it is valid until the next Prepare call
+	// and must not be mutated.
 	Prepare(grads [][]float32, lr float32) sparse.Update
 	// Name identifies the rule in logs and tables.
 	Name() string
 	// StateBytes reports worker-side optimizer memory (paper §5.6.2).
 	StateBytes() int
+}
+
+// parallelPrepThreshold is the total element count below which Prepare's
+// per-layer fan-out is not worth goroutine overhead.
+const parallelPrepThreshold = 1 << 16
+
+// forEachLayer runs fn(layer) for every layer. When more than one core is
+// available and the model is large enough, layers are distributed across
+// goroutines via an atomic work counter; each layer touches only its own
+// state, so results are identical to the serial order.
+func forEachLayer(grads [][]float32, fn func(layer int)) {
+	n := len(grads)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	total := 0
+	for _, g := range grads {
+		total += len(g)
+	}
+	if workers <= 1 || total < parallelPrepThreshold {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// topkScratch holds the per-layer Top-k machinery shared by the sparsifying
+// rules: one Selector per layer so selection can fan out across cores, one
+// persistent chunk slot per layer so steady-state assembly allocates
+// nothing, and the assembled update returned to the caller.
+type topkScratch struct {
+	sel    []sparse.Selector
+	chunks []sparse.Chunk
+	filled []bool
+	out    sparse.Update
+}
+
+func newTopkScratch(n int) topkScratch {
+	return topkScratch{
+		sel:    make([]sparse.Selector, n),
+		chunks: make([]sparse.Chunk, n),
+		filled: make([]bool, n),
+	}
+}
+
+// assemble collects the chunks produced this step in layer order, so the
+// result is deterministic regardless of how the fan-out interleaved.
+func (s *topkScratch) assemble() sparse.Update {
+	s.out.Chunks = s.out.Chunks[:0]
+	for i := range s.chunks {
+		if s.filled[i] {
+			s.out.Chunks = append(s.out.Chunks, s.chunks[i])
+		}
+	}
+	return s.out
+}
+
+// denseScratch caches the identity index slices and chunk headers the dense
+// rules would otherwise rebuild every step. Values alias the caller's
+// buffers; only indices are materialised (once per layer shape).
+type denseScratch struct {
+	idx [][]int32
+	out sparse.Update
+}
+
+func (d *denseScratch) update(vals [][]float32) sparse.Update {
+	if len(d.idx) < len(vals) {
+		d.idx = append(d.idx, make([][]int32, len(vals)-len(d.idx))...)
+	}
+	d.out.Chunks = d.out.Chunks[:0]
+	for layer, v := range vals {
+		if len(v) == 0 {
+			continue
+		}
+		if len(d.idx[layer]) != len(v) {
+			idx := make([]int32, len(v))
+			for i := range idx {
+				idx[i] = int32(i)
+			}
+			d.idx[layer] = idx
+		}
+		d.out.Chunks = append(d.out.Chunks, sparse.Chunk{Layer: layer, Idx: d.idx[layer], Val: v})
+	}
+	return d.out
 }
 
 func allocLike(sizes []int) [][]float32 {
@@ -51,22 +163,30 @@ func totalBytes(buffers ...[][]float32) int {
 }
 
 // DenseSGD sends η∇ densely every step: the ASGD baseline.
-type DenseSGD struct{}
+type DenseSGD struct {
+	scaled [][]float32
+	ds     denseScratch
+}
 
 // NewDenseSGD returns the ASGD update rule.
 func NewDenseSGD() *DenseSGD { return &DenseSGD{} }
 
 // Prepare returns the dense scaled gradient.
 func (o *DenseSGD) Prepare(grads [][]float32, lr float32) sparse.Update {
-	scaled := make([][]float32, len(grads))
+	if len(o.scaled) < len(grads) {
+		o.scaled = append(o.scaled, make([][]float32, len(grads)-len(o.scaled))...)
+	}
 	for i, g := range grads {
-		s := make([]float32, len(g))
+		if cap(o.scaled[i]) < len(g) {
+			o.scaled[i] = make([]float32, len(g))
+		}
+		s := o.scaled[i][:len(g)]
 		for j, v := range g {
 			s[j] = lr * v
 		}
-		scaled[i] = s
+		o.scaled[i] = s
 	}
-	return sparse.DenseUpdate(scaled)
+	return o.ds.update(o.scaled[:len(grads)])
 }
 
 // Name implements WorkerOptimizer.
@@ -78,8 +198,9 @@ func (o *DenseSGD) StateBytes() int { return 0 }
 // DenseMomentum sends the full velocity u = m·u + η∇ every step. With a
 // single worker this reproduces the MSGD baseline (paper Eq. 7).
 type DenseMomentum struct {
-	M float32
-	u [][]float32
+	M  float32
+	u  [][]float32
+	ds denseScratch
 }
 
 // NewDenseMomentum creates the rule for a model with the given layer sizes.
@@ -87,7 +208,8 @@ func NewDenseMomentum(layerSizes []int, m float32) *DenseMomentum {
 	return &DenseMomentum{M: m, u: allocLike(layerSizes)}
 }
 
-// Prepare computes u = m·u + η∇ and sends u densely.
+// Prepare computes u = m·u + η∇ and sends u densely (the returned values
+// alias the velocity buffer directly).
 func (o *DenseMomentum) Prepare(grads [][]float32, lr float32) sparse.Update {
 	for i, g := range grads {
 		u := o.u[i]
@@ -95,7 +217,7 @@ func (o *DenseMomentum) Prepare(grads [][]float32, lr float32) sparse.Update {
 			u[j] = o.M*u[j] + lr*v
 		}
 	}
-	return sparse.DenseUpdate(o.u)
+	return o.ds.update(o.u)
 }
 
 // Name implements WorkerOptimizer.
@@ -111,31 +233,34 @@ type GradientDropping struct {
 	// KeepRatio is the fraction of each layer transmitted (paper R%).
 	KeepRatio float64
 	r         [][]float32
+	ts        topkScratch
 }
 
 // NewGradientDropping creates the rule.
 func NewGradientDropping(layerSizes []int, keepRatio float64) *GradientDropping {
-	return &GradientDropping{KeepRatio: keepRatio, r: allocLike(layerSizes)}
+	return &GradientDropping{KeepRatio: keepRatio, r: allocLike(layerSizes), ts: newTopkScratch(len(layerSizes))}
 }
 
 // Prepare accumulates and selects: r += η∇; send top-k(r); r[sent] = 0.
+// Layers are processed in parallel on multi-core hosts.
 func (o *GradientDropping) Prepare(grads [][]float32, lr float32) sparse.Update {
-	var u sparse.Update
-	for i, g := range grads {
+	forEachLayer(grads, func(i int) {
+		o.ts.filled[i] = false
 		r := o.r[i]
-		for j, v := range g {
+		for j, v := range grads[i] {
 			r[j] += lr * v
 		}
 		k := sparse.KForRatio(len(r), o.KeepRatio)
 		if k == 0 {
-			continue
+			return
 		}
-		idx := sparse.TopKIndices(r, k)
-		c := sparse.Gather(i, r, idx)
-		sparse.ScatterZero(&c, r)
-		u.Chunks = append(u.Chunks, c)
-	}
-	return u
+		idx := o.ts.sel[i].TopK(r, k)
+		c := &o.ts.chunks[i]
+		sparse.GatherInto(c, i, r, idx)
+		sparse.ScatterZero(c, r)
+		o.ts.filled[i] = true
+	})
+	return o.ts.assemble()
 }
 
 // Name implements WorkerOptimizer.
@@ -155,36 +280,39 @@ type DGC struct {
 	M         float32
 	KeepRatio float64
 	u, v      [][]float32
+	ts        topkScratch
 }
 
 // NewDGC creates the rule.
 func NewDGC(layerSizes []int, m float32, keepRatio float64) *DGC {
-	return &DGC{M: m, KeepRatio: keepRatio, u: allocLike(layerSizes), v: allocLike(layerSizes)}
+	return &DGC{M: m, KeepRatio: keepRatio, u: allocLike(layerSizes), v: allocLike(layerSizes), ts: newTopkScratch(len(layerSizes))}
 }
 
-// Prepare applies momentum correction and factor masking.
+// Prepare applies momentum correction and factor masking. Layers are
+// processed in parallel on multi-core hosts.
 func (o *DGC) Prepare(grads [][]float32, lr float32) sparse.Update {
-	var out sparse.Update
-	for i, g := range grads {
+	forEachLayer(grads, func(i int) {
+		o.ts.filled[i] = false
 		u, v := o.u[i], o.v[i]
-		for j, gv := range g {
+		for j, gv := range grads[i] {
 			u[j] = o.M*u[j] + lr*gv
 			v[j] += u[j]
 		}
 		k := sparse.KForRatio(len(v), o.KeepRatio)
 		if k == 0 {
-			continue
+			return
 		}
-		idx := sparse.TopKIndices(v, k)
-		c := sparse.Gather(i, v, idx)
-		sparse.ScatterZero(&c, v)
+		idx := o.ts.sel[i].TopK(v, k)
+		c := &o.ts.chunks[i]
+		sparse.GatherInto(c, i, v, idx)
+		sparse.ScatterZero(c, v)
 		// Momentum factor masking: stop stale momentum at sent coords.
 		for _, j := range c.Idx {
 			u[j] = 0
 		}
-		out.Chunks = append(out.Chunks, c)
-	}
-	return out
+		o.ts.filled[i] = true
+	})
+	return o.ts.assemble()
 }
 
 // Name implements WorkerOptimizer.
@@ -208,6 +336,7 @@ type SAMomentum struct {
 	M         float32
 	KeepRatio float64
 	u         [][]float32
+	ts        topkScratch
 }
 
 // NewSAMomentum creates the rule. m must be in (0,1): the 1/m rescale is
@@ -216,24 +345,26 @@ func NewSAMomentum(layerSizes []int, m float32, keepRatio float64) *SAMomentum {
 	if m <= 0 || m >= 1 {
 		panic("optim: SAMomentum requires 0 < m < 1")
 	}
-	return &SAMomentum{M: m, KeepRatio: keepRatio, u: allocLike(layerSizes)}
+	return &SAMomentum{M: m, KeepRatio: keepRatio, u: allocLike(layerSizes), ts: newTopkScratch(len(layerSizes))}
 }
 
-// Prepare implements Algorithm 3 lines 6–12.
+// Prepare implements Algorithm 3 lines 6–12. Layers are processed in
+// parallel on multi-core hosts.
 func (o *SAMomentum) Prepare(grads [][]float32, lr float32) sparse.Update {
 	invM := 1 / o.M
-	var out sparse.Update
-	for i, g := range grads {
+	forEachLayer(grads, func(i int) {
+		o.ts.filled[i] = false
 		u := o.u[i]
-		for j, gv := range g {
+		for j, gv := range grads[i] {
 			u[j] = o.M*u[j] + lr*gv
 		}
 		k := sparse.KForRatio(len(u), o.KeepRatio)
 		if k == 0 {
-			continue
+			return
 		}
-		idx := sparse.TopKIndices(u, k)
-		c := sparse.Gather(i, u, idx)
+		idx := o.ts.sel[i].TopK(u, k)
+		c := &o.ts.chunks[i]
+		sparse.GatherInto(c, i, u, idx)
 		// Magnify every unsent coordinate by 1/m. Walk the sorted sent
 		// indices alongside the full range.
 		si := 0
@@ -244,9 +375,9 @@ func (o *SAMomentum) Prepare(grads [][]float32, lr float32) sparse.Update {
 			}
 			u[j] *= invM
 		}
-		out.Chunks = append(out.Chunks, c)
-	}
-	return out
+		o.ts.filled[i] = true
+	})
+	return o.ts.assemble()
 }
 
 // Name implements WorkerOptimizer.

@@ -1,0 +1,73 @@
+package ps
+
+import (
+	"testing"
+
+	"dgs/internal/sparse"
+	"dgs/internal/tensor"
+)
+
+// benchSizes mirrors the CIFAR CNN layer geometry.
+var benchSizes = []int{864, 32, 9216, 32, 18432, 64, 65536, 128, 1280, 10}
+
+func benchUpdate(rng *tensor.RNG, sizes []int) *sparse.Update {
+	u := &sparse.Update{}
+	var sel sparse.Selector
+	for layer, n := range sizes {
+		x := make([]float32, n)
+		rng.FillNormal(x, 0, 1)
+		idx := sel.TopK(x, sparse.KForRatio(n, 0.01))
+		sparse.GatherInto(u.NextChunk(), layer, x, idx)
+	}
+	return u
+}
+
+// TestPushSteadyStateAllocs locks the zero-allocation exchange: after the
+// first push warms the per-worker scratch, Push allocates nothing.
+func TestPushSteadyStateAllocs(t *testing.T) {
+	srv := NewServer(Config{LayerSizes: benchSizes, Workers: 1})
+	g := benchUpdate(tensor.NewRNG(41), benchSizes)
+	srv.Push(0, g)
+	srv.Push(0, g)
+	if allocs := testing.AllocsPerRun(10, func() { srv.Push(0, g) }); allocs > 0 {
+		t.Fatalf("steady-state Push allocates %v objects, want 0", allocs)
+	}
+}
+
+// TestPushResultValidUntilNextPush documents the aliasing contract: a
+// worker's downward update stays intact across other workers' pushes and is
+// only overwritten by its own next exchange.
+func TestPushResultValidUntilNextPush(t *testing.T) {
+	srv := NewServer(Config{LayerSizes: []int{16}, Workers: 2})
+	g := &sparse.Update{Chunks: []sparse.Chunk{{Layer: 0, Idx: []int32{3}, Val: []float32{2}}}}
+	G0, _ := srv.Push(0, g)
+	snapshot := append([]float32(nil), G0.Chunks[0].Val...)
+	srv.Push(1, g) // another worker's exchange must not disturb worker 0's view
+	for i, v := range G0.Chunks[0].Val {
+		if v != snapshot[i] {
+			t.Fatal("worker 0's downward update was clobbered by worker 1's push")
+		}
+	}
+}
+
+func BenchmarkPush(b *testing.B) {
+	srv := NewServer(Config{LayerSizes: benchSizes, Workers: 1})
+	g := benchUpdate(tensor.NewRNG(42), benchSizes)
+	srv.Push(0, g) // warm the per-worker scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Push(0, g)
+	}
+}
+
+func BenchmarkPushSecondary(b *testing.B) {
+	srv := NewServer(Config{LayerSizes: benchSizes, Workers: 1, Secondary: true, SecondaryRatio: 0.01})
+	g := benchUpdate(tensor.NewRNG(43), benchSizes)
+	srv.Push(0, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Push(0, g)
+	}
+}

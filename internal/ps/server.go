@@ -56,7 +56,9 @@ type Stats struct {
 // ShardedServer: apply a worker's update, return its model difference.
 type Pusher interface {
 	// Push applies the update and returns the downward difference plus a
-	// monotone logical timestamp.
+	// monotone logical timestamp. The returned update may alias per-worker
+	// server scratch: it is valid until the same worker's next Push or
+	// Resync; callers that retain it longer must copy.
 	Push(worker int, g *sparse.Update) (sparse.Update, uint64)
 	// Resync resets a rejoining worker's server-side state (see
 	// Server.Resync).
@@ -85,6 +87,13 @@ type Server struct {
 
 	// scratch for difference computation, reused under the lock
 	diff [][]float32
+	// downward-update scratch, one per worker: the Update returned by Push
+	// aliases this storage, so each slot lives until that worker's next
+	// exchange and steady-state pushes allocate nothing.
+	down     []sparse.Update
+	denseIdx []int32 // 0..maxLayer-1, shared by all dense gathers
+	nzIdx    []int32 // nonzero-position scratch, reused under the lock
+	sel      sparse.Selector
 }
 
 // NewServer builds a server for the given configuration.
@@ -111,6 +120,17 @@ func NewServer(cfg Config) *Server {
 	}
 	s.prev = make([]uint64, cfg.Workers)
 	s.epoch = make([]uint64, cfg.Workers)
+	s.down = make([]sparse.Update, cfg.Workers)
+	maxLayer := 0
+	for _, n := range cfg.LayerSizes {
+		if n > maxLayer {
+			maxLayer = n
+		}
+	}
+	s.denseIdx = make([]int32, maxLayer)
+	for i := range s.denseIdx {
+		s.denseIdx[i] = int32(i)
+	}
 	return s
 }
 
@@ -148,7 +168,9 @@ func (s *Server) Epoch(worker int) uint64 {
 // Push applies worker k's update g (M ← M − g), computes the downward model
 // difference G for k, advances v_k and prev(k), and returns G together with
 // the new server timestamp. It is safe for concurrent use by multiple
-// workers. The returned update is owned by the caller.
+// workers. The returned update aliases per-worker server scratch: it is
+// valid until this worker's next Push or Resync, so steady-state exchanges
+// allocate nothing. Callers that need to retain it longer must copy.
 func (s *Server) Push(worker int, g *sparse.Update) (sparse.Update, uint64) {
 	if worker < 0 || worker >= s.cfg.Workers {
 		panic(fmt.Sprintf("ps: worker %d out of range [0,%d)", worker, s.cfg.Workers))
@@ -172,9 +194,11 @@ func (s *Server) Push(worker int, g *sparse.Update) (sparse.Update, uint64) {
 	s.t++
 	s.stats.Pushes++
 
-	// Compute G = M − v_k into scratch (Eq. 3 / Algorithm 2 line 4).
+	// Compute G = M − v_k into scratch (Eq. 3 / Algorithm 2 line 4),
+	// assembling the downward update into this worker's retained slot.
 	vk := s.v[worker]
-	var out sparse.Update
+	out := &s.down[worker]
+	out.Chunks = out.Chunks[:0]
 	for layer := range s.m {
 		d := s.diff[layer]
 		ml, vl := s.m[layer], vk[layer]
@@ -187,13 +211,9 @@ func (s *Server) Push(worker int, g *sparse.Update) (sparse.Update, uint64) {
 		}
 		if s.cfg.DenseDownward {
 			// Ship every coordinate (whole-model download semantics).
-			idx := make([]int32, len(d))
-			for j := range idx {
-				idx[j] = int32(j)
-			}
-			c := sparse.Gather(layer, d, idx)
-			sparse.Scatter(&c, vl, 1)
-			out.Chunks = append(out.Chunks, c)
+			c := out.NextChunk()
+			sparse.GatherInto(c, layer, d, s.denseIdx[:len(d)])
+			sparse.Scatter(c, vl, 1)
 			continue
 		}
 		if nnz == 0 {
@@ -208,22 +228,23 @@ func (s *Server) Push(worker int, g *sparse.Update) (sparse.Update, uint64) {
 			if k > nnz {
 				k = nnz
 			}
-			idx = sparse.TopKIndices(d, k)
+			idx = s.sel.TopK(d, k)
 		} else {
-			idx = make([]int32, 0, nnz)
+			idx = s.nzIdx[:0]
 			for j, dv := range d {
 				if dv != 0 {
 					idx = append(idx, int32(j))
 				}
 			}
+			s.nzIdx = idx[:0] // keep the grown capacity for the next push
 		}
-		c := sparse.Gather(layer, d, idx)
+		c := out.NextChunk()
+		sparse.GatherInto(c, layer, d, idx)
 		// v_k ← v_k + G (Eq. 6b): record exactly what was sent.
-		sparse.Scatter(&c, vl, 1)
-		out.Chunks = append(out.Chunks, c)
+		sparse.Scatter(c, vl, 1)
 	}
 	s.prev[worker] = s.t
-	return out, s.t
+	return *out, s.t
 }
 
 // Timestamp returns the current server timestamp t.

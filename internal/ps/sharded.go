@@ -21,7 +21,19 @@ type ShardedServer struct {
 	// that layer's index within the shard.
 	layerShard []int
 	layerLocal []int
-	sizes      []int
+	// globalOf[sh][local] maps a shard-local layer id back to the global id.
+	globalOf [][]int
+	sizes    []int
+	// split[k] is worker k's exchange scratch; each worker's exchanges are
+	// serialised by the transport, so slots are never used concurrently.
+	split []shardSplit
+}
+
+// shardSplit is per-worker scratch for splitting an upward update across
+// shards and merging the downward pieces back.
+type shardSplit struct {
+	perShard []sparse.Update
+	out      sparse.Update
 }
 
 // NewShardedServer builds numShards shards over the given layers, assigning
@@ -64,6 +76,18 @@ func NewShardedServer(cfg Config, numShards int) *ShardedServer {
 		}
 		s.shards = append(s.shards, NewServer(sc))
 	}
+	// Invert the layer placement once: local→global per shard.
+	s.globalOf = make([][]int, numShards)
+	for l, sh := range s.layerShard {
+		for len(s.globalOf[sh]) <= s.layerLocal[l] {
+			s.globalOf[sh] = append(s.globalOf[sh], 0)
+		}
+		s.globalOf[sh][s.layerLocal[l]] = l
+	}
+	s.split = make([]shardSplit, cfg.Workers)
+	for k := range s.split {
+		s.split[k].perShard = make([]sparse.Update, numShards)
+	}
 	return s
 }
 
@@ -72,10 +96,18 @@ func (s *ShardedServer) NumShards() int { return len(s.shards) }
 
 // Push splits the update across shards, applies each piece, and merges the
 // downward differences back into global layer ids. The returned timestamp
-// is the sum of shard timestamps (a useful monotone logical clock).
+// is the sum of shard timestamps (a useful monotone logical clock). Like
+// Server.Push, the returned update aliases per-worker scratch and is valid
+// until this worker's next Push or Resync.
 func (s *ShardedServer) Push(worker int, g *sparse.Update) (sparse.Update, uint64) {
+	if worker < 0 || worker >= len(s.split) {
+		panic(fmt.Sprintf("ps: worker %d out of range [0,%d)", worker, len(s.split)))
+	}
 	// Split the upward update per shard, remapping layer ids.
-	perShard := make([]sparse.Update, len(s.shards))
+	sp := &s.split[worker]
+	for sh := range sp.perShard {
+		sp.perShard[sh].Chunks = sp.perShard[sh].Chunks[:0]
+	}
 	for i := range g.Chunks {
 		c := g.Chunks[i]
 		if c.Layer < 0 || c.Layer >= len(s.layerShard) {
@@ -84,30 +116,21 @@ func (s *ShardedServer) Push(worker int, g *sparse.Update) (sparse.Update, uint6
 		sh := s.layerShard[c.Layer]
 		local := c // copy the chunk header; index/value slices are shared
 		local.Layer = s.layerLocal[c.Layer]
-		perShard[sh].Chunks = append(perShard[sh].Chunks, local)
+		sp.perShard[sh].Chunks = append(sp.perShard[sh].Chunks, local)
 	}
 
-	// Build the local→global layer maps once.
-	globalOf := make([][]int, len(s.shards))
-	for l, sh := range s.layerShard {
-		for len(globalOf[sh]) <= s.layerLocal[l] {
-			globalOf[sh] = append(globalOf[sh], 0)
-		}
-		globalOf[sh][s.layerLocal[l]] = l
-	}
-
-	var out sparse.Update
+	sp.out.Chunks = sp.out.Chunks[:0]
 	var clock uint64
 	for sh, shard := range s.shards {
-		G, ts := shard.Push(worker, &perShard[sh])
+		G, ts := shard.Push(worker, &sp.perShard[sh])
 		clock += ts
 		for i := range G.Chunks {
 			c := G.Chunks[i]
-			c.Layer = globalOf[sh][c.Layer]
-			out.Chunks = append(out.Chunks, c)
+			c.Layer = s.globalOf[sh][c.Layer]
+			sp.out.Chunks = append(sp.out.Chunks, c)
 		}
 	}
-	return out, clock
+	return sp.out, clock
 }
 
 // Resync resets the rejoining worker's state on every shard. The sharded

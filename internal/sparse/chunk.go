@@ -31,6 +31,19 @@ func (u *Update) NNZ() int {
 	return n
 }
 
+// NextChunk extends u by one chunk and returns the new slot, resurrecting
+// any previous backing arrays through the slice capacity. Together with
+// GatherInto it lets callers assemble updates into retained scratch without
+// allocating: Chunks = Chunks[:0], then NextChunk per layer.
+func (u *Update) NextChunk() *Chunk {
+	if len(u.Chunks) < cap(u.Chunks) {
+		u.Chunks = u.Chunks[:len(u.Chunks)+1]
+	} else {
+		u.Chunks = append(u.Chunks, Chunk{})
+	}
+	return &u.Chunks[len(u.Chunks)-1]
+}
+
 // Gather extracts the values of x at the given indices into a chunk.
 func Gather(layer int, x []float32, idx []int32) Chunk {
 	val := make([]float32, len(idx))
@@ -40,6 +53,21 @@ func Gather(layer int, x []float32, idx []int32) Chunk {
 	ic := make([]int32, len(idx))
 	copy(ic, idx)
 	return Chunk{Layer: layer, Idx: ic, Val: val}
+}
+
+// GatherInto fills c with the values of x at idx, reusing c's backing
+// storage so steady-state gathers allocate nothing. Like Gather, the index
+// slice is copied, so idx may be scratch owned by the caller.
+func GatherInto(c *Chunk, layer int, x []float32, idx []int32) {
+	c.Layer = layer
+	c.Idx = append(c.Idx[:0], idx...)
+	if cap(c.Val) < len(idx) {
+		c.Val = make([]float32, len(idx))
+	}
+	c.Val = c.Val[:len(idx)]
+	for i, j := range idx {
+		c.Val[i] = x[j]
+	}
 }
 
 // Scatter adds scale*chunk into dst (dst[idx] += scale*val).

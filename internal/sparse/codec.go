@@ -36,12 +36,26 @@ func isDenseChunk(c *Chunk) bool {
 // indices); Encode panics on malformed chunks since that is a programming
 // error, not input error.
 func Encode(u *Update) []byte {
+	return AppendEncode(nil, u)
+}
+
+// AppendEncode serialises an update, appending to dst and returning the
+// extended slice. Passing dst[:0] of a retained buffer makes steady-state
+// encoding allocation-free; the buffer grows to the worst-case size once
+// and is then reused.
+func AppendEncode(dst []byte, u *Update) []byte {
 	// Size estimate: header + per-chunk worst case.
 	size := 4 + binary.MaxVarintLen64
 	for i := range u.Chunks {
 		size += 1 + 2*binary.MaxVarintLen64 + len(u.Chunks[i].Idx)*binary.MaxVarintLen32 + 4*len(u.Chunks[i].Val)
 	}
-	buf := make([]byte, size)
+	base := len(dst)
+	if cap(dst)-base < size {
+		grown := make([]byte, base, base+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := dst[base : base+size]
 	binary.LittleEndian.PutUint32(buf, codecMagic)
 	off := 4
 	off += binary.PutUvarint(buf[off:], uint64(len(u.Chunks)))
@@ -74,47 +88,68 @@ func Encode(u *Update) []byte {
 			off += 4
 		}
 	}
-	return buf[:off]
+	return dst[:base+off]
 }
 
-// Decode parses a serialised update.
+// Decode parses a serialised update into a fresh Update.
 func Decode(b []byte) (*Update, error) {
+	u := &Update{}
+	if err := DecodeInto(u, b); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// DecodeInto parses a serialised update into u, reusing u's chunk slice and
+// each chunk's index/value storage. Steady-state decoding of same-shaped
+// updates allocates nothing. On error u's contents are unspecified. The
+// decoded data is valid until the next DecodeInto on the same Update.
+func DecodeInto(u *Update, b []byte) error {
 	if len(b) < 4 || binary.LittleEndian.Uint32(b) != codecMagic {
-		return nil, fmt.Errorf("sparse: bad magic")
+		return fmt.Errorf("sparse: bad magic")
 	}
 	off := 4
 	nChunks, n := binary.Uvarint(b[off:])
 	if n <= 0 {
-		return nil, fmt.Errorf("sparse: truncated chunk count")
+		return fmt.Errorf("sparse: truncated chunk count")
 	}
 	off += n
 	if nChunks > uint64(len(b)) {
-		return nil, fmt.Errorf("sparse: implausible chunk count %d", nChunks)
+		return fmt.Errorf("sparse: implausible chunk count %d", nChunks)
 	}
-	u := &Update{Chunks: make([]Chunk, 0, nChunks)}
+	u.Chunks = u.Chunks[:0]
 	for ci := uint64(0); ci < nChunks; ci++ {
 		layer, n := binary.Uvarint(b[off:])
 		if n <= 0 {
-			return nil, fmt.Errorf("sparse: truncated layer id in chunk %d", ci)
+			return fmt.Errorf("sparse: truncated layer id in chunk %d", ci)
 		}
 		off += n
 		if off >= len(b) {
-			return nil, fmt.Errorf("sparse: truncated flags in chunk %d", ci)
+			return fmt.Errorf("sparse: truncated flags in chunk %d", ci)
 		}
 		flags := b[off]
 		off++
 		nnz, n := binary.Uvarint(b[off:])
 		if n <= 0 {
-			return nil, fmt.Errorf("sparse: truncated nnz in chunk %d", ci)
+			return fmt.Errorf("sparse: truncated nnz in chunk %d", ci)
 		}
 		off += n
 		if nnz > uint64(len(b)) {
-			return nil, fmt.Errorf("sparse: implausible nnz %d in chunk %d", nnz, ci)
+			return fmt.Errorf("sparse: implausible nnz %d in chunk %d", nnz, ci)
 		}
-		c := Chunk{Layer: int(layer), Idx: make([]int32, nnz), Val: make([]float32, nnz)}
+		c := u.NextChunk()
+		c.Layer = int(layer)
+		if cap(c.Idx) < int(nnz) {
+			c.Idx = make([]int32, nnz)
+		}
+		c.Idx = c.Idx[:nnz]
+		if cap(c.Val) < int(nnz) {
+			c.Val = make([]float32, nnz)
+		}
+		c.Val = c.Val[:nnz]
 		if flags&flagDense != 0 {
 			if nnz > math.MaxInt32 {
-				return nil, fmt.Errorf("sparse: index overflow in chunk %d", ci)
+				return fmt.Errorf("sparse: index overflow in chunk %d", ci)
 			}
 			for i := range c.Idx {
 				c.Idx[i] = int32(i)
@@ -124,30 +159,29 @@ func Decode(b []byte) (*Update, error) {
 			for i := range c.Idx {
 				gap, n := binary.Uvarint(b[off:])
 				if n <= 0 {
-					return nil, fmt.Errorf("sparse: truncated index %d in chunk %d", i, ci)
+					return fmt.Errorf("sparse: truncated index %d in chunk %d", i, ci)
 				}
 				off += n
 				pos := prev + 1 + int64(gap)
 				if pos > math.MaxInt32 {
-					return nil, fmt.Errorf("sparse: index overflow in chunk %d", ci)
+					return fmt.Errorf("sparse: index overflow in chunk %d", ci)
 				}
 				c.Idx[i] = int32(pos)
 				prev = pos
 			}
 		}
 		if off+4*int(nnz) > len(b) {
-			return nil, fmt.Errorf("sparse: truncated values in chunk %d", ci)
+			return fmt.Errorf("sparse: truncated values in chunk %d", ci)
 		}
 		for i := range c.Val {
 			c.Val[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[off:]))
 			off += 4
 		}
-		u.Chunks = append(u.Chunks, c)
 	}
 	if off != len(b) {
-		return nil, fmt.Errorf("sparse: %d trailing bytes", len(b)-off)
+		return fmt.Errorf("sparse: %d trailing bytes", len(b)-off)
 	}
-	return u, nil
+	return nil
 }
 
 // DenseBytes returns the wire size of a dense (uncompressed) model with the

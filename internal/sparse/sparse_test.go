@@ -345,6 +345,7 @@ func BenchmarkTopK1M(b *testing.B) {
 	x := make([]float32, 1<<20)
 	rng.FillNormal(x, 0, 1)
 	k := len(x) / 100
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		TopKIndices(x, k)
@@ -356,6 +357,7 @@ func BenchmarkEncode(b *testing.B) {
 	x := make([]float32, 1<<18)
 	rng.FillNormal(x, 0, 1)
 	u := SparsifyLayers([][]float32{x}, 0.01)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Encode(&u)

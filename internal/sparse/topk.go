@@ -25,28 +25,77 @@ func KForRatio(n int, ratio float64) int {
 // TopKIndices returns the indices of the k largest |x| values.
 // Ties are broken deterministically (lower index wins). The returned
 // indices are in ascending order. x is not modified.
+//
+// Each call allocates fresh scratch; hot paths that select every iteration
+// should hold a Selector instead.
 func TopKIndices(x []float32, k int) []int32 {
+	var s Selector
+	return s.TopK(x, k)
+}
+
+// Selector is reusable Top-k scratch. The zero value is ready to use; after
+// the first call on a layer its capacity is retained, so steady-state
+// selection allocates nothing. A Selector is not safe for concurrent use.
+type Selector struct {
+	idx []int32
+}
+
+// TopK returns the indices of the k largest |x| values in ascending order,
+// with deterministic tie-breaks (lower index wins). x is not modified. The
+// returned slice aliases the selector's scratch and is valid until the next
+// call on this Selector.
+func (s *Selector) TopK(x []float32, k int) []int32 {
 	n := len(x)
 	if k <= 0 || n == 0 {
 		return nil
 	}
+	idx := s.fill(n)
 	if k >= n {
-		out := make([]int32, n)
-		for i := range out {
-			out[i] = int32(i)
-		}
-		return out
-	}
-	// Quickselect on a scratch index slice ordered by descending |x|,
-	// breaking ties by ascending index for determinism.
-	idx := make([]int32, n)
-	for i := range idx {
-		idx[i] = int32(i)
+		return idx
 	}
 	quickselect(x, idx, k)
 	top := idx[:k]
 	sortInt32(top)
 	return top
+}
+
+// Threshold returns the k-th largest |x| (the paper's thr) without sorting
+// the selection: after quickselect the partition point itself is the k-th
+// order statistic, so no full Top-k materialisation or min-scan is needed.
+// It returns 0 for k <= 0 or empty x.
+func (s *Selector) Threshold(x []float32, k int) float32 {
+	n := len(x)
+	if k <= 0 || n == 0 {
+		return 0
+	}
+	if k >= n {
+		// Smallest |value| overall.
+		minAbs := absOf(x, 0)
+		for i := int32(1); i < int32(n); i++ {
+			if a := absOf(x, i); a < minAbs {
+				minAbs = a
+			}
+		}
+		return minAbs
+	}
+	idx := s.fill(n)
+	// quickselect maintains k-1 inside the shrinking [lo,hi] window, so on
+	// exit idx[k-1] holds exactly the k-th element of the descending-|x|
+	// order — the threshold.
+	quickselect(x, idx, k)
+	return absOf(x, idx[k-1])
+}
+
+// fill resizes the scratch to n identity indices.
+func (s *Selector) fill(n int) []int32 {
+	if cap(s.idx) < n {
+		s.idx = make([]int32, n)
+	}
+	s.idx = s.idx[:n]
+	for i := range s.idx {
+		s.idx[i] = int32(i)
+	}
+	return s.idx
 }
 
 // absOf returns |x[i]| without branching on NaN (NaN sorts last).
@@ -156,18 +205,8 @@ func qsortInt32(a []int32, lo, hi int) {
 }
 
 // Threshold returns the k-th largest absolute value of x (the paper's thr).
-// It panics if k is out of range.
+// It returns 0 for k <= 0 or empty x.
 func Threshold(x []float32, k int) float32 {
-	idx := TopKIndices(x, k)
-	if len(idx) == 0 {
-		return 0
-	}
-	// The smallest |value| among the selected set is the threshold.
-	minAbs := absOf(x, idx[0])
-	for _, i := range idx[1:] {
-		if a := absOf(x, i); a < minAbs {
-			minAbs = a
-		}
-	}
-	return minAbs
+	var s Selector
+	return s.Threshold(x, k)
 }

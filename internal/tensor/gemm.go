@@ -5,13 +5,45 @@ import (
 	"sync"
 )
 
-// gemmParallelThreshold is the minimum m*n*k volume before Gemm fans out
-// across goroutines; below it the dispatch overhead dominates.
-const gemmParallelThreshold = 64 * 64 * 64
+// Blocked, packed GEMM engine shared by Gemm, GemmTA and GemmTB.
+//
+// All three entry points funnel into one driver: rows of C are partitioned
+// across a persistent worker pool (one row-range scheduler), each range is
+// computed in kc×nc cache blocks whose operands are packed into contiguous
+// panels, and every panel pair is consumed by one register-blocked 4×16
+// micro-kernel (AVX2+FMA on capable amd64 hardware, a pure-Go loop
+// elsewhere). The only thing that differs between the plain, transposed-A
+// and transposed-B variants is the packing routine, so the three kernels
+// cannot drift apart numerically or in performance character.
+//
+// Steady-state calls allocate nothing: pack buffers and task headers come
+// from sync.Pools and the worker pool is spawned once per process.
+// Results are deterministic for a given shape regardless of worker count,
+// because row ranges never share output and blocks accumulate in a fixed
+// order within each row.
+const (
+	mrGemm = 4   // micro-tile rows
+	nrGemm = 16  // micro-tile cols (two 8-float AVX2 lanes)
+	kcGemm = 256 // k cache-block: A tile (4 KiB) + B tile (16 KiB) fit L1
+	ncGemm = 128 // n cache-block: packed B block (128 KiB) fits L2
+	mcGemm = 64  // m cache-block: packed A block (64 KiB) fits L2
+
+	// smallGemmVolume is the m*n*k cutoff below which packing overhead
+	// exceeds its benefit; such calls run on the serial baseline loops.
+	smallGemmVolume = 32 * 32 * 32
+
+	// gemmParallelThreshold is the minimum m*n*k volume before the driver
+	// fans out across the worker pool; below it dispatch overhead dominates.
+	gemmParallelThreshold = 64 * 64 * 64
+)
+
+// SIMDKernelEnabled reports whether the AVX2+FMA micro-kernel is active on
+// this host (false on other architectures or when the CPU lacks the
+// features). Exposed for benchmark reports and diagnostics.
+func SIMDKernelEnabled() bool { return useSIMDKernel }
 
 // Gemm computes C = alpha*A*B + beta*C for row-major matrices,
 // where A is m×k, B is k×n and C is m×n.
-// Rows of C are partitioned across goroutines for large problems.
 func Gemm(alpha float32, a []float32, m, k int, b []float32, n int, beta float32, c []float32) {
 	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
 		panic("tensor: Gemm buffer too small for stated dimensions")
@@ -19,60 +51,11 @@ func Gemm(alpha float32, a []float32, m, k int, b []float32, n int, beta float32
 	if m == 0 || n == 0 {
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if m*n*k < gemmParallelThreshold || workers == 1 || m == 1 {
-		gemmRows(alpha, a, m, k, b, n, beta, c, 0, m)
+	if m*n*k < smallGemmVolume {
+		baselineGemmRows(alpha, a, m, k, b, n, beta, c, 0, m)
 		return
 	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmRows(alpha, a, m, k, b, n, beta, c, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// gemmRows computes rows [lo,hi) of C using an ikj loop order that streams
-// through B row-wise (cache friendly for row-major data).
-func gemmRows(alpha float32, a []float32, m, k int, b []float32, n int, beta float32, c []float32, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		ci := c[i*n : i*n+n]
-		if beta == 0 {
-			for j := range ci {
-				ci[j] = 0
-			}
-		} else if beta != 1 {
-			for j := range ci {
-				ci[j] *= beta
-			}
-		}
-		ai := a[i*k : i*k+k]
-		for p := 0; p < k; p++ {
-			av := alpha * ai[p]
-			if av == 0 {
-				continue
-			}
-			bp := b[p*n : p*n+n]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
-		}
-	}
+	gemmBlocked(alpha, a, k, false, b, n, false, m, n, k, beta, c)
 }
 
 // GemmTA computes C = alpha*Aᵀ*B + beta*C where A is k×m (so Aᵀ is m×k),
@@ -81,29 +64,14 @@ func GemmTA(alpha float32, a []float32, k, m int, b []float32, n int, beta float
 	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
 		panic("tensor: GemmTA buffer too small for stated dimensions")
 	}
-	if beta == 0 {
-		for i := range c[:m*n] {
-			c[i] = 0
-		}
-	} else if beta != 1 {
-		for i := range c[:m*n] {
-			c[i] *= beta
-		}
+	if m == 0 || n == 0 {
+		return
 	}
-	for p := 0; p < k; p++ {
-		ap := a[p*m : p*m+m]
-		bp := b[p*n : p*n+n]
-		for i, av := range ap {
-			s := alpha * av
-			if s == 0 {
-				continue
-			}
-			ci := c[i*n : i*n+n]
-			for j, bv := range bp {
-				ci[j] += s * bv
-			}
-		}
+	if m*n*k < smallGemmVolume {
+		BaselineGemmTA(alpha, a, k, m, b, n, beta, c)
+		return
 	}
+	gemmBlocked(alpha, a, m, true, b, n, false, m, n, k, beta, c)
 }
 
 // GemmTB computes C = alpha*A*Bᵀ + beta*C where A is m×k, B is n×k
@@ -112,20 +80,252 @@ func GemmTB(alpha float32, a []float32, m, k int, b []float32, n int, beta float
 	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
 		panic("tensor: GemmTB buffer too small for stated dimensions")
 	}
-	for i := 0; i < m; i++ {
-		ai := a[i*k : i*k+k]
-		ci := c[i*n : i*n+n]
-		for j := 0; j < n; j++ {
-			bj := b[j*k : j*k+k]
-			var s float64
-			for p := 0; p < k; p++ {
-				s += float64(ai[p]) * float64(bj[p])
+	if m == 0 || n == 0 {
+		return
+	}
+	if m*n*k < smallGemmVolume {
+		BaselineGemmTB(alpha, a, m, k, b, n, beta, c)
+		return
+	}
+	gemmBlocked(alpha, a, k, false, b, k, true, m, n, k, beta, c)
+}
+
+// gemmTask is one blocked-GEMM invocation. Tasks are pooled so parallel
+// dispatch allocates nothing in steady state.
+type gemmTask struct {
+	alpha, beta    float32
+	m, n, k        int
+	a, b, c        []float32
+	lda, ldb       int
+	aTrans, bTrans bool
+	wg             sync.WaitGroup
+}
+
+var gemmTaskPool = sync.Pool{New: func() any { return new(gemmTask) }}
+
+// packBuf holds the per-range packing scratch plus the micro-tile output.
+type packBuf struct {
+	a, b []float32
+	tile [mrGemm * nrGemm]float32
+}
+
+var packBufPool = sync.Pool{New: func() any {
+	return &packBuf{
+		a: make([]float32, mcGemm*kcGemm),
+		b: make([]float32, kcGemm*ncGemm),
+	}
+}}
+
+// rangeTask is one row range of one task, sent to the worker pool by value.
+type rangeTask struct {
+	t      *gemmTask
+	lo, hi int
+}
+
+var (
+	gemmPoolOnce sync.Once
+	gemmQueue    chan rangeTask
+)
+
+// startGemmPool spawns the persistent kernel workers. Workers only ever
+// receive, so queue backpressure cannot deadlock.
+func startGemmPool() {
+	n := runtime.GOMAXPROCS(0)
+	gemmQueue = make(chan rangeTask, 8*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for rt := range gemmQueue {
+				rt.t.rows(rt.lo, rt.hi)
+				rt.t.wg.Done()
 			}
-			if beta == 0 {
-				ci[j] = alpha * float32(s)
-			} else {
-				ci[j] = alpha*float32(s) + beta*ci[j]
+		}()
+	}
+}
+
+// gemmBlocked dispatches row ranges of the blocked driver, in parallel when
+// the problem is large enough and cores are available.
+func gemmBlocked(alpha float32, a []float32, lda int, aTrans bool, b []float32, ldb int, bTrans bool, m, n, k int, beta float32, c []float32) {
+	t := gemmTaskPool.Get().(*gemmTask)
+	t.alpha, t.beta = alpha, beta
+	t.m, t.n, t.k = m, n, k
+	t.a, t.b, t.c = a, b, c
+	t.lda, t.ldb = lda, ldb
+	t.aTrans, t.bTrans = aTrans, bTrans
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers == 1 || m*n*k < gemmParallelThreshold || m < 2*mrGemm {
+		t.rows(0, m)
+	} else {
+		// Round ranges to the micro-tile so tiles never straddle workers.
+		chunk := (m + workers - 1) / workers
+		chunk = (chunk + mrGemm - 1) / mrGemm * mrGemm
+		nranges := (m + chunk - 1) / chunk
+		gemmPoolOnce.Do(startGemmPool)
+		t.wg.Add(nranges - 1)
+		for w := 1; w < nranges; w++ {
+			lo := w * chunk
+			gemmQueue <- rangeTask{t, lo, min(lo+chunk, m)}
+		}
+		t.rows(0, min(chunk, m)) // the caller computes the first range itself
+		t.wg.Wait()
+	}
+	t.a, t.b, t.c = nil, nil, nil
+	gemmTaskPool.Put(t)
+}
+
+// rows computes rows [lo,hi) of C: one β pass, then packed cache blocks fed
+// to the micro-kernel.
+func (t *gemmTask) rows(lo, hi int) {
+	c, n, k := t.c, t.n, t.k
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : i*n+n]
+		if t.beta == 0 {
+			for j := range ci {
+				ci[j] = 0
+			}
+		} else if t.beta != 1 {
+			for j := range ci {
+				ci[j] *= t.beta
 			}
 		}
 	}
+	if k == 0 || t.alpha == 0 {
+		return
+	}
+	pb := packBufPool.Get().(*packBuf)
+	for p0 := 0; p0 < k; p0 += kcGemm {
+		kb := min(kcGemm, k-p0)
+		for j0 := 0; j0 < n; j0 += ncGemm {
+			nb := min(ncGemm, n-j0)
+			t.packB(pb.b, p0, kb, j0, nb)
+			for i0 := lo; i0 < hi; i0 += mcGemm {
+				mb := min(mcGemm, hi-i0)
+				t.packA(pb.a, i0, mb, p0, kb)
+				for ti := 0; ti*mrGemm < mb; ti++ {
+					ap := pb.a[ti*kb*mrGemm:]
+					rows := min(mrGemm, mb-ti*mrGemm)
+					for tj := 0; tj*nrGemm < nb; tj++ {
+						microKernel(kb, ap, pb.b[tj*kb*nrGemm:], &pb.tile)
+						cols := min(nrGemm, nb-tj*nrGemm)
+						addTile(&pb.tile, t.alpha, c, n, i0+ti*mrGemm, j0+tj*nrGemm, rows, cols)
+					}
+				}
+			}
+		}
+	}
+	packBufPool.Put(pb)
+}
+
+// packA packs the A block [i0,i0+mb)×[p0,p0+kb) into mr-row panels, each a
+// kb×mr slab laid out p-major so the micro-kernel streams it linearly.
+// Partial edge tiles are zero-padded to the full micro-tile.
+func (t *gemmTask) packA(dst []float32, i0, mb, p0, kb int) {
+	if t.aTrans {
+		// A'[i,p] = a[p*lda + i]: for each p, mr consecutive i are contiguous.
+		for ti := 0; ti*mrGemm < mb; ti++ {
+			base := ti * kb * mrGemm
+			i := i0 + ti*mrGemm
+			rows := min(mrGemm, mb-ti*mrGemm)
+			for p := 0; p < kb; p++ {
+				src := t.a[(p0+p)*t.lda+i:]
+				d := dst[base+p*mrGemm : base+p*mrGemm+mrGemm]
+				for r := 0; r < rows; r++ {
+					d[r] = src[r]
+				}
+				for r := rows; r < mrGemm; r++ {
+					d[r] = 0
+				}
+			}
+		}
+		return
+	}
+	// A'[i,p] = a[i*lda + p]: rows are contiguous along p.
+	for ti := 0; ti*mrGemm < mb; ti++ {
+		base := ti * kb * mrGemm
+		rows := min(mrGemm, mb-ti*mrGemm)
+		for r := 0; r < mrGemm; r++ {
+			if r >= rows {
+				for p := 0; p < kb; p++ {
+					dst[base+p*mrGemm+r] = 0
+				}
+				continue
+			}
+			src := t.a[(i0+ti*mrGemm+r)*t.lda+p0:]
+			for p := 0; p < kb; p++ {
+				dst[base+p*mrGemm+r] = src[p]
+			}
+		}
+	}
+}
+
+// packB packs the B block [p0,p0+kb)×[j0,j0+nb) into nr-column panels, each
+// a kb×nr slab laid out p-major. Partial edge tiles are zero-padded.
+func (t *gemmTask) packB(dst []float32, p0, kb, j0, nb int) {
+	for tj := 0; tj*nrGemm < nb; tj++ {
+		base := tj * kb * nrGemm
+		j := j0 + tj*nrGemm
+		cols := min(nrGemm, nb-tj*nrGemm)
+		if t.bTrans {
+			// B'[p,j] = b[j*ldb + p]: transpose column runs into the panel.
+			for jj := 0; jj < cols; jj++ {
+				src := t.b[(j+jj)*t.ldb+p0:]
+				for p := 0; p < kb; p++ {
+					dst[base+p*nrGemm+jj] = src[p]
+				}
+			}
+			for jj := cols; jj < nrGemm; jj++ {
+				for p := 0; p < kb; p++ {
+					dst[base+p*nrGemm+jj] = 0
+				}
+			}
+			continue
+		}
+		// B'[p,j] = b[p*ldb + j]: nr consecutive j are contiguous.
+		for p := 0; p < kb; p++ {
+			src := t.b[(p0+p)*t.ldb+j:]
+			d := dst[base+p*nrGemm : base+p*nrGemm+nrGemm]
+			if cols == nrGemm {
+				copy(d, src[:nrGemm])
+				continue
+			}
+			copy(d, src[:cols])
+			for jj := cols; jj < nrGemm; jj++ {
+				d[jj] = 0
+			}
+		}
+	}
+}
+
+// addTile adds alpha times the computed micro-tile into C, clipped to the
+// valid rows×cols of an edge tile.
+func addTile(tile *[mrGemm * nrGemm]float32, alpha float32, c []float32, ldc, i0, j0, rows, cols int) {
+	for r := 0; r < rows; r++ {
+		cr := c[(i0+r)*ldc+j0 : (i0+r)*ldc+j0+cols]
+		tr := tile[r*nrGemm : r*nrGemm+nrGemm]
+		for j := range cr {
+			cr[j] += alpha * tr[j]
+		}
+	}
+}
+
+// microKernel computes the full mr×nr tile product of two packed panels
+// into out (overwriting it), dispatching to the SIMD kernel when available.
+func microKernel(kb int, ap, bp []float32, out *[mrGemm * nrGemm]float32) {
+	if useSIMDKernel {
+		microKernel4x16AVX(kb, &ap[0], &bp[0], &out[0])
+		return
+	}
+	var acc [mrGemm * nrGemm]float32
+	for p := 0; p < kb; p++ {
+		av := ap[p*mrGemm : p*mrGemm+mrGemm : p*mrGemm+mrGemm]
+		bv := bp[p*nrGemm : p*nrGemm+nrGemm : p*nrGemm+nrGemm]
+		for r := 0; r < mrGemm; r++ {
+			arv := av[r]
+			o := acc[r*nrGemm : r*nrGemm+nrGemm]
+			for j := range o {
+				o[j] += arv * bv[j]
+			}
+		}
+	}
+	*out = acc
 }

@@ -1,0 +1,176 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"dgs/internal/raceflag"
+)
+
+// The blocked engine must agree with the frozen pre-PR kernels on every
+// shape, including the degenerate and tile-edge cases the packing code has
+// to zero-pad: single rows/columns, empty depth, and dimensions that do not
+// divide the micro-tile (4×16), the cache blocks (64/128/256), or both.
+// Shapes are chosen so the large ones exceed smallGemmVolume and actually
+// exercise the blocked path (small ones document the dispatch to the
+// baseline loops).
+var equivalenceShapes = []struct {
+	name    string
+	m, n, k int
+}{
+	{"tiny", 2, 3, 4},
+	{"k_zero", 5, 6, 0},
+	{"single_row", 1, 257, 300},
+	{"single_col", 300, 1, 257},
+	{"exact_tile", 64, 128, 256},
+	{"off_by_one_tile", 65, 129, 257},
+	{"sub_tile_rows", 3, 640, 100},
+	{"sub_tile_cols", 640, 5, 100},
+	{"prime_dims", 37, 131, 97},
+	{"conv_fwd", 32, 256, 288},
+	{"wide_n", 8, 1024, 64},
+}
+
+func maxAbsDiff(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(float64(a[i]) - float64(b[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// tolFor scales the comparison tolerance with the accumulation depth: the
+// baseline kernels accumulate in different orders (and GemmTB in float64),
+// so agreement is to rounding, not bit-exactness.
+func tolFor(k int) float64 { return 1e-4 * float64(k+1) }
+
+func TestGemmEquivalence(t *testing.T) {
+	rng := NewRNG(21)
+	for _, s := range equivalenceShapes {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			for _, ab := range [][2]float32{{1, 0}, {2.5, 1}, {1, -0.5}} {
+				alpha, beta := ab[0], ab[1]
+				a := randomMat(rng, s.m*s.k)
+				b := randomMat(rng, s.k*s.n)
+				c0 := randomMat(rng, s.m*s.n)
+				got := append([]float32(nil), c0...)
+				want := append([]float32(nil), c0...)
+				Gemm(alpha, a, s.m, s.k, b, s.n, beta, got)
+				BaselineGemm(alpha, a, s.m, s.k, b, s.n, beta, want)
+				if d := maxAbsDiff(got, want); d > tolFor(s.k) {
+					t.Fatalf("alpha=%v beta=%v: max diff %v", alpha, beta, d)
+				}
+			}
+		})
+	}
+}
+
+func TestGemmTAEquivalence(t *testing.T) {
+	rng := NewRNG(22)
+	for _, s := range equivalenceShapes {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			for _, ab := range [][2]float32{{1, 0}, {2.5, 1}} {
+				alpha, beta := ab[0], ab[1]
+				a := randomMat(rng, s.k*s.m) // stored k×m
+				b := randomMat(rng, s.k*s.n)
+				c0 := randomMat(rng, s.m*s.n)
+				got := append([]float32(nil), c0...)
+				want := append([]float32(nil), c0...)
+				GemmTA(alpha, a, s.k, s.m, b, s.n, beta, got)
+				BaselineGemmTA(alpha, a, s.k, s.m, b, s.n, beta, want)
+				if d := maxAbsDiff(got, want); d > tolFor(s.k) {
+					t.Fatalf("alpha=%v beta=%v: max diff %v", alpha, beta, d)
+				}
+			}
+		})
+	}
+}
+
+func TestGemmTBEquivalence(t *testing.T) {
+	rng := NewRNG(23)
+	for _, s := range equivalenceShapes {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			for _, ab := range [][2]float32{{1, 0}, {2.5, 1}} {
+				alpha, beta := ab[0], ab[1]
+				a := randomMat(rng, s.m*s.k)
+				b := randomMat(rng, s.n*s.k) // stored n×k
+				c0 := randomMat(rng, s.m*s.n)
+				got := append([]float32(nil), c0...)
+				want := append([]float32(nil), c0...)
+				GemmTB(alpha, a, s.m, s.k, b, s.n, beta, got)
+				BaselineGemmTB(alpha, a, s.m, s.k, b, s.n, beta, want)
+				if d := maxAbsDiff(got, want); d > tolFor(s.k) {
+					t.Fatalf("alpha=%v beta=%v: max diff %v", alpha, beta, d)
+				}
+			}
+		})
+	}
+}
+
+// TestGemmKZeroScalesC locks the k=0 contract: C = beta*C with no reads of
+// A or B.
+func TestGemmKZeroScalesC(t *testing.T) {
+	c := []float32{1, 2, 3, 4}
+	Gemm(3, nil, 2, 0, nil, 2, 0.5, c)
+	for i, want := range []float32{0.5, 1, 1.5, 2} {
+		if c[i] != want {
+			t.Fatalf("c[%d] = %v, want %v", i, c[i], want)
+		}
+	}
+}
+
+// TestGemmSteadyStateAllocs verifies the blocked engine's pooled buffers:
+// after warm-up, large GEMMs on all three kernels allocate nothing.
+func TestGemmSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector perturbs sync.Pool reuse; alloc counts unreliable")
+	}
+	rng := NewRNG(24)
+	m, k, n := 96, 96, 96
+	a := randomMat(rng, m*k)
+	b := randomMat(rng, k*n)
+	c := make([]float32, m*n)
+	warm := func() {
+		Gemm(1, a, m, k, b, n, 0, c)
+		GemmTA(1, a, k, m, b, n, 0, c)
+		GemmTB(1, a, m, k, b, n, 0, c)
+	}
+	warm()
+	allocs := testing.AllocsPerRun(10, warm)
+	if allocs > 0 {
+		t.Fatalf("steady-state GEMM allocates %v objects per run, want 0", allocs)
+	}
+}
+
+func BenchmarkGemmTA(b *testing.B) {
+	rng := NewRNG(25)
+	k, m, n := 32, 288, 1024 // conv backward dcols shape
+	a := randomMat(rng, k*m)
+	bb := randomMat(rng, k*n)
+	c := make([]float32, m*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmTA(1, a, k, m, bb, n, 0, c)
+	}
+	b.SetBytes(int64(4 * (k*m + k*n + m*n)))
+}
+
+func BenchmarkGemmTB(b *testing.B) {
+	rng := NewRNG(26)
+	m, k, n := 32, 1024, 288 // conv backward dW shape
+	a := randomMat(rng, m*k)
+	bb := randomMat(rng, n*k)
+	c := make([]float32, m*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmTB(1, a, m, k, bb, n, 0, c)
+	}
+	b.SetBytes(int64(4 * (m*k + n*k + m*n)))
+}

@@ -1,0 +1,46 @@
+//go:build amd64
+
+package tensor
+
+// useSIMDKernel reports whether the AVX2+FMA micro-kernel may be used.
+// It requires CPU support for AVX2 and FMA plus OS support for saving the
+// YMM register state (OSXSAVE + XCR0 bits 1 and 2).
+var useSIMDKernel = detectSIMD()
+
+func detectSIMD() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	_, _, c1, _ := cpuidex(1, 0)
+	if c1&fmaBit == 0 || c1&osxsaveBit == 0 || c1&avxBit == 0 {
+		return false
+	}
+	if xeax, _ := xgetbv(); xeax&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}
+
+// microKernel4x16AVX computes the full 4×16 tile product of the packed
+// panels ap (kb×4, p-major) and bp (kb×16, p-major) and stores it row-major
+// into out (overwriting all 64 floats). Implemented in gemm_kernel_amd64.s.
+//
+//go:noescape
+func microKernel4x16AVX(kb int, ap, bp, out *float32)
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+//
+//go:noescape
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE, checked before calling).
+//
+//go:noescape
+func xgetbv() (eax, edx uint32)

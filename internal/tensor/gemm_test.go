@@ -274,6 +274,7 @@ func BenchmarkGemm128(b *testing.B) {
 	a := randomMat(rng, m*k)
 	bb := randomMat(rng, k*n)
 	c := make([]float32, m*n)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Gemm(1, a, m, k, bb, n, 0, c)

@@ -233,18 +233,21 @@ func serverConfig(cfg *Config, sizes []int) ps.Config {
 	return sc
 }
 
+// updPool recycles decode-side Updates across handler calls. Only the
+// decode side is pooled: response byte slices are retained by the
+// exactly-once replay cache, so they must stay freshly allocated.
+var updPool = sync.Pool{New: func() any { return new(sparse.Update) }}
+
 // Handler builds the server-side transport handler: decode → Push → encode.
 // It is shared by the in-process loopback and the TCP server binary, and
 // accepts either a plain Server or a ShardedServer.
 func Handler(server ps.Pusher) transport.Handler {
 	return func(worker int, payload []byte) ([]byte, error) {
-		var g *sparse.Update
-		if len(payload) == 0 {
-			g = &sparse.Update{}
-		} else {
-			var err error
-			g, err = sparse.Decode(payload)
-			if err != nil {
+		g := updPool.Get().(*sparse.Update)
+		defer updPool.Put(g)
+		g.Chunks = g.Chunks[:0]
+		if len(payload) > 0 {
+			if err := sparse.DecodeInto(g, payload); err != nil {
 				return nil, fmt.Errorf("trainer: decode push from worker %d: %w", worker, err)
 			}
 		}
@@ -449,6 +452,12 @@ type worker struct {
 	computeNanos    *atomic.Int64
 	lr              func(int64) float32
 	res             *Result
+
+	// per-iteration exchange scratch: the encoded upward payload and the
+	// decoded downward update, reused so the steady-state loop allocates
+	// nothing in the exchange path.
+	encBuf []byte
+	down   sparse.Update
 }
 
 // run is the worker training loop. It returns its model replica so the
@@ -503,18 +512,20 @@ func (w *worker) run() (*nn.Model, error) {
 		if cfg.Ternary {
 			upd = quant.TernarizeUpdate(&upd, qrng)
 		}
-		payload := sparse.Encode(&upd)
+		// Transports either consume the payload synchronously (loopback) or
+		// copy it (session framing, TCP write), so the buffer is free for
+		// reuse as soon as Exchange returns.
+		w.encBuf = sparse.AppendEncode(w.encBuf[:0], &upd)
 
-		respBytes, err := w.tr.Exchange(w.id, payload)
+		respBytes, err := w.tr.Exchange(w.id, w.encBuf)
 		if err != nil {
 			return model, fmt.Errorf("trainer: worker %d exchange: %w", w.id, err)
 		}
-		G, err := sparse.Decode(respBytes)
-		if err != nil {
+		if err := sparse.DecodeInto(&w.down, respBytes); err != nil {
 			return model, fmt.Errorf("trainer: worker %d decode response: %w", w.id, err)
 		}
-		for ci := range G.Chunks {
-			c := &G.Chunks[ci]
+		for ci := range w.down.Chunks {
+			c := &w.down.Chunks[ci]
 			sparse.Scatter(c, params[c.Layer].Value.Data, 1)
 		}
 
