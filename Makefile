@@ -1,9 +1,16 @@
 # Tier-1 verification for this repo. `make check` is what CI and every PR
 # must keep green: build, vet, then the full test suite under the race
 # detector (the async exchange paths are required to be race-clean).
-.PHONY: check build vet test race bench bench-paper
+# `make ci` is the CI entry point: formatting gate first, then check.
+.PHONY: ci check fmt-check build vet test race bench bench-paper bench-smoke
+
+ci: fmt-check check
 
 check: build vet race
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	go build ./...
@@ -21,15 +28,27 @@ race:
 # fast. `make bench` refreshes the tracked hot-path baseline (BENCH_PR2.json:
 # kernel speedups vs the frozen pre-PR GEMMs plus the zero-allocation
 # checks), then spot-runs the paper-shape benchmarks once each in short mode
-# as a guard that they still complete. BENCHTIME trades accuracy for speed,
-# e.g. `make bench BENCHTIME=100ms`.
+# as a guard that they still complete. BENCHTIME trades accuracy for speed
+# on the microbenches, PAPER_BENCHTIME on the paper suite, e.g.
+# `make bench BENCHTIME=100ms PAPER_BENCHTIME=1x`.
 BENCHTIME ?= 1s
+PAPER_BENCHTIME ?= 1x
 
 bench:
 	go run ./cmd/dgs-bench -microbench -benchtime $(BENCHTIME)
-	$(MAKE) bench-paper
+	$(MAKE) bench-paper PAPER_BENCHTIME=$(PAPER_BENCHTIME)
 
 # The paper benchmarks run full (short-scale) training per artefact, so the
 # suite needs more than go test's default 10-minute budget on small hosts.
 bench-paper:
-	go test -short -bench . -benchtime 1x -run '^$$' -timeout 60m
+	go test -short -bench . -benchtime $(PAPER_BENCHTIME) -run '^$$' -timeout 60m
+
+# Regression gate for CI: a fast microbench pass compared against the
+# tracked baseline with dgs-benchdiff (machine-relative speedups + the
+# zero-allocation invariants). SMOKE_OUT is uploaded as a CI artifact.
+SMOKE_BENCHTIME ?= 100ms
+SMOKE_OUT ?= bench-smoke.json
+
+bench-smoke:
+	go run ./cmd/dgs-bench -microbench -benchtime $(SMOKE_BENCHTIME) -json $(SMOKE_OUT)
+	go run ./cmd/dgs-benchdiff -baseline BENCH_PR2.json -current $(SMOKE_OUT)

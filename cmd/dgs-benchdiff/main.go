@@ -1,0 +1,146 @@
+// Command dgs-benchdiff gates CI on performance regressions: it compares a
+// freshly measured microbenchmark report (dgs-bench -microbench -json)
+// against the tracked baseline (BENCH_PR2.json) and exits nonzero when the
+// hot paths regressed.
+//
+// Raw ns/op is not comparable across machines, so the gate works on
+// machine-relative quantities only:
+//
+//   - kernel speedups: each report measures the new kernels AND the frozen
+//     pre-PR baselines in the same run, so speedup = baseline/new cancels
+//     the machine out. A speedup that shrank by more than -max-slowdown
+//     (default 25%) fails.
+//   - allocations: the zero-allocation hot paths (conv backward, codec
+//     round-trip, ps.Push, Top-k) must stay at 0 allocs/op on any machine.
+//
+// A SIMD-kernel mismatch between the reports (e.g. the baseline was
+// measured with AVX2 and CI runs the pure-Go path) makes the speedups
+// incomparable; that fails loudly unless -allow-simd-mismatch is given, in
+// which case only the allocation and completeness checks apply.
+//
+// Usage:
+//
+//	dgs-bench -microbench -benchtime 100ms -json current.json
+//	dgs-benchdiff -baseline BENCH_PR2.json -current current.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dgs/internal/bench"
+)
+
+type rules struct {
+	// maxSlowdown is the tolerated fractional speedup loss (0.25 = a kernel
+	// may keep as little as 75% of its baseline speedup).
+	maxSlowdown float64
+	// allowSIMDMismatch skips the speedup comparison when the two reports
+	// ran different kernels.
+	allowSIMDMismatch bool
+}
+
+// diff returns one human-readable problem per violated rule (empty =
+// gate passes).
+func diff(baseline, current *bench.Report, r rules) []string {
+	var problems []string
+
+	cur := map[string]bench.Result{}
+	for _, res := range current.Results {
+		cur[res.Name] = res
+	}
+	for _, base := range baseline.Results {
+		c, ok := cur[base.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("benchmark %q missing from current report", base.Name))
+			continue
+		}
+		if base.AllocsPerOp == 0 && c.AllocsPerOp > 0 {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %d allocs/op (baseline is allocation-free)", base.Name, c.AllocsPerOp))
+		}
+	}
+
+	simdMismatch := baseline.SIMDKernel != current.SIMDKernel
+	if simdMismatch && !r.allowSIMDMismatch {
+		problems = append(problems, fmt.Sprintf(
+			"simd_kernel mismatch (baseline %v, current %v): speedups are not comparable; "+
+				"pass -allow-simd-mismatch to gate on allocations only",
+			baseline.SIMDKernel, current.SIMDKernel))
+	}
+	if !simdMismatch {
+		keys := make([]string, 0, len(baseline.Speedups))
+		for k := range baseline.Speedups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			want := baseline.Speedups[k]
+			got, ok := current.Speedups[k]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("speedup %q missing from current report", k))
+				continue
+			}
+			floor := want * (1 - r.maxSlowdown)
+			if got < floor {
+				problems = append(problems, fmt.Sprintf(
+					"%s: speedup %.2fx below floor %.2fx (baseline %.2fx, tolerance %.0f%%)",
+					k, got, floor, want, 100*r.maxSlowdown))
+			}
+		}
+	}
+	return problems
+}
+
+func load(path string) (*bench.Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_PR2.json", "tracked baseline report")
+		currentPath  = flag.String("current", "", "freshly measured report (required)")
+		maxSlowdown  = flag.Float64("max-slowdown", 0.25, "tolerated fractional kernel speedup loss")
+		allowSIMD    = flag.Bool("allow-simd-mismatch", false, "skip speedup checks when SIMD kernels differ")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "dgs-benchdiff: -current is required")
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	fatalIf(err)
+	current, err := load(*currentPath)
+	fatalIf(err)
+
+	problems := diff(baseline, current, rules{
+		maxSlowdown:       *maxSlowdown,
+		allowSIMDMismatch: *allowSIMD,
+	})
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "dgs-benchdiff: FAIL:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("dgs-benchdiff: OK (%d benchmarks, %d speedup gates, tolerance %.0f%%)\n",
+		len(baseline.Results), len(baseline.Speedups), 100**maxSlowdown)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dgs-benchdiff:", err)
+		os.Exit(1)
+	}
+}

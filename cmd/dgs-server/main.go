@@ -19,6 +19,7 @@ import (
 
 	"dgs/internal/nn"
 	"dgs/internal/ps"
+	"dgs/internal/telemetry"
 	"dgs/internal/tensor"
 	"dgs/internal/trainer"
 	"dgs/internal/transport"
@@ -36,6 +37,10 @@ func main() {
 		denseDown = flag.Bool("dense-down", false, "ship the whole model downward (ASGD mode)")
 		statEvery = flag.Duration("stats", 10*time.Second, "stats print interval")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-exchange deadline (0 disables)")
+
+		metrics       = flag.String("metrics", "127.0.0.1:9090", "telemetry HTTP address for /metrics, /manifest and /debug/pprof (empty disables)")
+		manifestPath  = flag.String("manifest", "", "periodically write the JSON run manifest to this file")
+		manifestEvery = flag.Duration("manifest-every", 10*time.Second, "manifest write interval")
 	)
 	flag.Parse()
 
@@ -63,6 +68,29 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("dgs-server: listening on %s (%d params, %d workers, secondary=%v)\n",
 		srv.Addr(), model.NumParams(), *workers, *secondary)
+
+	manifest := telemetry.NewManifest(nil)
+	manifest.Set("role", "server")
+	manifest.Set("workers", *workers)
+	manifest.Set("params", model.NumParams())
+	manifest.Set("secondary", *secondary)
+	manifest.Set("secondary_ratio", *ratio)
+	manifest.Set("dense_downward", *denseDown)
+	manifest.Set("addr", srv.Addr())
+	if *metrics != "" {
+		msrv, err := telemetry.ListenAndServe(*metrics, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dgs-server:", err)
+			os.Exit(1)
+		}
+		msrv.SetManifest(manifest)
+		defer msrv.Close()
+		fmt.Printf("dgs-server: telemetry on %s/metrics\n", msrv.URL())
+	}
+	if *manifestPath != "" {
+		stop := manifest.StartPeriodic(*manifestPath, *manifestEvery)
+		defer stop()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -81,6 +81,8 @@ func main() {
 		scale     = flag.Float64("datascale", 1, "dataset size multiplier")
 		tcp       = flag.String("tcp", "", "run exchanges over TCP at this address (e.g. 127.0.0.1:0)")
 		csv       = flag.String("csv", "", "write loss/accuracy curves to this CSV file")
+		metrics   = flag.String("metrics", "", "serve /metrics and /debug/pprof at this address (e.g. 127.0.0.1:9090)")
+		manifest  = flag.String("manifest", "", "periodically write the JSON run manifest to this file")
 	)
 	flag.Parse()
 
@@ -99,7 +101,7 @@ func main() {
 		GradClip: float32(*clip), WeightDecay: float32(*wd),
 		WarmupFrac: *warmup, Ternary: *ternary, Shards: *shards,
 		Seed: *seed, DataScale: *scale,
-		TCPAddr: *tcp,
+		TCPAddr: *tcp, MetricsAddr: *metrics, ManifestPath: *manifest,
 	})
 	fatalIf(err)
 

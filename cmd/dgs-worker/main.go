@@ -11,6 +11,7 @@ import (
 
 	"dgs/internal/data"
 	"dgs/internal/nn"
+	"dgs/internal/telemetry"
 	"dgs/internal/tensor"
 	"dgs/internal/trainer"
 	"dgs/internal/transport"
@@ -57,8 +58,16 @@ func main() {
 		faultReset = flag.Float64("fault-reset", 0, "inject: P(connection reset)")
 		faultDelay = flag.Duration("fault-delay", 0, "inject: max random per-exchange delay")
 		faultSeed  = flag.Uint64("fault-seed", 1, "fault injection schedule seed")
+		metrics    = flag.String("metrics", "", "telemetry HTTP address for /metrics and /debug/pprof (empty disables)")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		msrv, err := telemetry.ListenAndServe(*metrics, nil)
+		fatalIf(err)
+		defer msrv.Close()
+		fmt.Printf("dgs-worker %d: telemetry on %s/metrics\n", *id, msrv.URL())
+	}
 
 	m, err := parseMethod(*method)
 	fatalIf(err)

@@ -156,6 +156,13 @@ type Config struct {
 	// Shards, when > 1, splits the parameter server into independently
 	// locked shards (the classic PS scaling architecture).
 	Shards int
+	// MetricsAddr, when set (e.g. "127.0.0.1:9090"), serves the telemetry
+	// HTTP endpoint (/metrics in Prometheus text format, /manifest,
+	// /debug/pprof) for the duration of the run.
+	MetricsAddr string
+	// ManifestPath, when set, periodically writes a JSON run manifest
+	// (configuration + live metric export) to this file.
+	ManifestPath string
 }
 
 // Result reports a finished run. Series are (x=epoch, y=value) samples.
@@ -276,6 +283,8 @@ func buildTrainerConfig(cfg Config) (*trainer.Config, error) {
 		EvalLimit:      cfg.EvalLimit,
 		TCPAddr:        cfg.TCPAddr,
 		Shards:         cfg.Shards,
+		MetricsAddr:    cfg.MetricsAddr,
+		ManifestPath:   cfg.ManifestPath,
 	}, nil
 }
 

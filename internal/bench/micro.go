@@ -108,6 +108,7 @@ func gemmBench(fn gemmFn, m, k, n int) func(b *testing.B) {
 	return func(b *testing.B) {
 		rng := tensor.NewRNG(1)
 		a, bb, c := fill(rng, m*k), fill(rng, k*n), make([]float32, m*n)
+		fn(1, a, m, k, bb, n, 0, c) // warm the pack-buffer pools
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			fn(1, a, m, k, bb, n, 0, c)
@@ -120,6 +121,7 @@ func gemmTABench(fn gemmFn, k, m, n int) func(b *testing.B) {
 	return func(b *testing.B) {
 		rng := tensor.NewRNG(2)
 		a, bb, c := fill(rng, k*m), fill(rng, k*n), make([]float32, m*n)
+		fn(1, a, k, m, bb, n, 0, c) // warm the pack-buffer pools
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			fn(1, a, k, m, bb, n, 0, c)
@@ -132,6 +134,7 @@ func gemmTBBench(fn gemmFn, m, k, n int) func(b *testing.B) {
 	return func(b *testing.B) {
 		rng := tensor.NewRNG(3)
 		a, bb, c := fill(rng, m*k), fill(rng, n*k), make([]float32, m*n)
+		fn(1, a, m, k, bb, n, 0, c) // warm the pack-buffer pools
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			fn(1, a, m, k, bb, n, 0, c)

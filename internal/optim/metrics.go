@@ -1,0 +1,66 @@
+package optim
+
+import (
+	"time"
+
+	"dgs/internal/telemetry"
+)
+
+// optimMetrics instruments one sparsifying update rule. Handles are
+// resolved once at construction; per-step recording is a few atomic
+// operations. The per-layer accumulators live in topkScratch so the
+// forEachLayer fan-out writes without contention (each goroutine touches
+// only its own layer index) and the totals are summed serially afterwards.
+type optimMetrics struct {
+	prepareSeconds *telemetry.Histogram
+	topkNanos      *telemetry.Counter
+	rescaleNanos   *telemetry.Counter // SAMomentum only (nil elsewhere)
+	residualMass   *telemetry.Gauge
+}
+
+func newOptimMetrics(rule string) *optimMetrics {
+	reg := telemetry.Default()
+	m := &optimMetrics{
+		prepareSeconds: reg.Histogram("dgs_optim_prepare_seconds",
+			"Latency of one Prepare call (accumulate, select, assemble).",
+			telemetry.DurationBuckets(), "rule", rule),
+		topkNanos: reg.Counter("dgs_optim_topk_ns_total",
+			"Cumulative nanoseconds spent in Top-k selection.", "rule", rule),
+		residualMass: reg.Gauge("dgs_optim_residual_mass",
+			"L1 mass of the unsent residual/velocity after the last Prepare.",
+			"rule", rule),
+	}
+	if rule == "samomentum" {
+		m.rescaleNanos = reg.Counter("dgs_optim_samomentum_rescale_ns_total",
+			"Cumulative nanoseconds spent magnifying unsent coordinates by 1/m.")
+	}
+	return m
+}
+
+// observe folds the per-layer accumulators into the shared metrics after
+// one Prepare call.
+func (m *optimMetrics) observe(ts *topkScratch, elapsed time.Duration) {
+	var topk, resc int64
+	var mass float64
+	for i := range ts.topkNs {
+		topk += ts.topkNs[i]
+		resc += ts.rescNs[i]
+		mass += ts.mass[i]
+	}
+	m.prepareSeconds.Observe(elapsed.Seconds())
+	if topk > 0 {
+		m.topkNanos.Add(uint64(topk))
+	}
+	if m.rescaleNanos != nil && resc > 0 {
+		m.rescaleNanos.Add(uint64(resc))
+	}
+	m.residualMass.Set(mass)
+}
+
+// absf is |v| widened to float64 for mass accumulation.
+func absf(v float32) float64 {
+	if v < 0 {
+		return float64(-v)
+	}
+	return float64(v)
+}

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dgs/internal/sparse"
 )
@@ -93,6 +94,13 @@ type topkScratch struct {
 	chunks []sparse.Chunk
 	filled []bool
 	out    sparse.Update
+
+	// Per-layer telemetry accumulators. Each forEachLayer goroutine writes
+	// only its own layer's slot, so recording is contention- and race-free;
+	// the totals are summed serially after the fan-out joins.
+	topkNs []int64   // nanoseconds spent in Top-k selection
+	rescNs []int64   // nanoseconds spent in the SAMomentum 1/m rescale
+	mass   []float64 // L1 mass of the unsent residual/velocity
 }
 
 func newTopkScratch(n int) topkScratch {
@@ -100,6 +108,9 @@ func newTopkScratch(n int) topkScratch {
 		sel:    make([]sparse.Selector, n),
 		chunks: make([]sparse.Chunk, n),
 		filled: make([]bool, n),
+		topkNs: make([]int64, n),
+		rescNs: make([]int64, n),
+		mass:   make([]float64, n),
 	}
 }
 
@@ -234,33 +245,48 @@ type GradientDropping struct {
 	KeepRatio float64
 	r         [][]float32
 	ts        topkScratch
+	om        *optimMetrics
 }
 
 // NewGradientDropping creates the rule.
 func NewGradientDropping(layerSizes []int, keepRatio float64) *GradientDropping {
-	return &GradientDropping{KeepRatio: keepRatio, r: allocLike(layerSizes), ts: newTopkScratch(len(layerSizes))}
+	return &GradientDropping{KeepRatio: keepRatio, r: allocLike(layerSizes),
+		ts: newTopkScratch(len(layerSizes)), om: newOptimMetrics("gd")}
 }
 
 // Prepare accumulates and selects: r += η∇; send top-k(r); r[sent] = 0.
 // Layers are processed in parallel on multi-core hosts.
 func (o *GradientDropping) Prepare(grads [][]float32, lr float32) sparse.Update {
+	p0 := time.Now()
 	forEachLayer(grads, func(i int) {
 		o.ts.filled[i] = false
+		o.ts.topkNs[i] = 0
 		r := o.r[i]
+		var mass float64
 		for j, v := range grads[i] {
 			r[j] += lr * v
+			mass += absf(r[j])
 		}
 		k := sparse.KForRatio(len(r), o.KeepRatio)
 		if k == 0 {
+			o.ts.mass[i] = mass
 			return
 		}
+		t0 := time.Now()
 		idx := o.ts.sel[i].TopK(r, k)
+		o.ts.topkNs[i] = time.Since(t0).Nanoseconds()
 		c := &o.ts.chunks[i]
 		sparse.GatherInto(c, i, r, idx)
 		sparse.ScatterZero(c, r)
+		for _, v := range c.Val {
+			mass -= absf(v)
+		}
+		o.ts.mass[i] = mass
 		o.ts.filled[i] = true
 	})
-	return o.ts.assemble()
+	upd := o.ts.assemble()
+	o.om.observe(&o.ts, time.Since(p0))
+	return upd
 }
 
 // Name implements WorkerOptimizer.
@@ -281,28 +307,37 @@ type DGC struct {
 	KeepRatio float64
 	u, v      [][]float32
 	ts        topkScratch
+	om        *optimMetrics
 }
 
 // NewDGC creates the rule.
 func NewDGC(layerSizes []int, m float32, keepRatio float64) *DGC {
-	return &DGC{M: m, KeepRatio: keepRatio, u: allocLike(layerSizes), v: allocLike(layerSizes), ts: newTopkScratch(len(layerSizes))}
+	return &DGC{M: m, KeepRatio: keepRatio, u: allocLike(layerSizes), v: allocLike(layerSizes),
+		ts: newTopkScratch(len(layerSizes)), om: newOptimMetrics("dgc")}
 }
 
 // Prepare applies momentum correction and factor masking. Layers are
 // processed in parallel on multi-core hosts.
 func (o *DGC) Prepare(grads [][]float32, lr float32) sparse.Update {
+	p0 := time.Now()
 	forEachLayer(grads, func(i int) {
 		o.ts.filled[i] = false
+		o.ts.topkNs[i] = 0
 		u, v := o.u[i], o.v[i]
+		var mass float64
 		for j, gv := range grads[i] {
 			u[j] = o.M*u[j] + lr*gv
 			v[j] += u[j]
+			mass += absf(v[j])
 		}
 		k := sparse.KForRatio(len(v), o.KeepRatio)
 		if k == 0 {
+			o.ts.mass[i] = mass
 			return
 		}
+		t0 := time.Now()
 		idx := o.ts.sel[i].TopK(v, k)
+		o.ts.topkNs[i] = time.Since(t0).Nanoseconds()
 		c := &o.ts.chunks[i]
 		sparse.GatherInto(c, i, v, idx)
 		sparse.ScatterZero(c, v)
@@ -310,9 +345,15 @@ func (o *DGC) Prepare(grads [][]float32, lr float32) sparse.Update {
 		for _, j := range c.Idx {
 			u[j] = 0
 		}
+		for _, cv := range c.Val {
+			mass -= absf(cv)
+		}
+		o.ts.mass[i] = mass
 		o.ts.filled[i] = true
 	})
-	return o.ts.assemble()
+	upd := o.ts.assemble()
+	o.om.observe(&o.ts, time.Since(p0))
+	return upd
 }
 
 // Name implements WorkerOptimizer.
@@ -337,6 +378,7 @@ type SAMomentum struct {
 	KeepRatio float64
 	u         [][]float32
 	ts        topkScratch
+	om        *optimMetrics
 }
 
 // NewSAMomentum creates the rule. m must be in (0,1): the 1/m rescale is
@@ -345,28 +387,40 @@ func NewSAMomentum(layerSizes []int, m float32, keepRatio float64) *SAMomentum {
 	if m <= 0 || m >= 1 {
 		panic("optim: SAMomentum requires 0 < m < 1")
 	}
-	return &SAMomentum{M: m, KeepRatio: keepRatio, u: allocLike(layerSizes), ts: newTopkScratch(len(layerSizes))}
+	return &SAMomentum{M: m, KeepRatio: keepRatio, u: allocLike(layerSizes),
+		ts: newTopkScratch(len(layerSizes)), om: newOptimMetrics("samomentum")}
 }
 
 // Prepare implements Algorithm 3 lines 6–12. Layers are processed in
 // parallel on multi-core hosts.
 func (o *SAMomentum) Prepare(grads [][]float32, lr float32) sparse.Update {
+	p0 := time.Now()
 	invM := 1 / o.M
 	forEachLayer(grads, func(i int) {
 		o.ts.filled[i] = false
+		o.ts.topkNs[i], o.ts.rescNs[i] = 0, 0
 		u := o.u[i]
 		for j, gv := range grads[i] {
 			u[j] = o.M*u[j] + lr*gv
 		}
 		k := sparse.KForRatio(len(u), o.KeepRatio)
 		if k == 0 {
+			var mass float64
+			for _, uv := range u {
+				mass += absf(uv)
+			}
+			o.ts.mass[i] = mass
 			return
 		}
+		t0 := time.Now()
 		idx := o.ts.sel[i].TopK(u, k)
+		o.ts.topkNs[i] = time.Since(t0).Nanoseconds()
 		c := &o.ts.chunks[i]
 		sparse.GatherInto(c, i, u, idx)
 		// Magnify every unsent coordinate by 1/m. Walk the sorted sent
 		// indices alongside the full range.
+		t1 := time.Now()
+		var mass float64
 		si := 0
 		for j := range u {
 			if si < len(c.Idx) && int32(j) == c.Idx[si] {
@@ -374,10 +428,15 @@ func (o *SAMomentum) Prepare(grads [][]float32, lr float32) sparse.Update {
 				continue
 			}
 			u[j] *= invM
+			mass += absf(u[j])
 		}
+		o.ts.rescNs[i] = time.Since(t1).Nanoseconds()
+		o.ts.mass[i] = mass
 		o.ts.filled[i] = true
 	})
-	return o.ts.assemble()
+	upd := o.ts.assemble()
+	o.om.observe(&o.ts, time.Since(p0))
+	return upd
 }
 
 // Name implements WorkerOptimizer.

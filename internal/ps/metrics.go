@@ -1,0 +1,74 @@
+package ps
+
+import (
+	"strconv"
+
+	"dgs/internal/telemetry"
+)
+
+// metrics holds the server's telemetry handles, resolved once at
+// construction so the Push hot path is pure atomic updates — Push is a
+// tracked zero-allocation benchmark and instrumentation must not regress
+// it. A nil *metrics (Config.Quiet, used for the shards inside a
+// ShardedServer) disables recording entirely.
+type metrics struct {
+	pushes     *telemetry.Counter
+	resyncs    *telemetry.Counter
+	upValues   *telemetry.Counter
+	downValues *telemetry.Counter
+	density    *telemetry.Gauge
+	staleness  []*telemetry.Histogram // per worker
+	modelSize  float64
+}
+
+// newMetrics registers the ps metric family against the default registry
+// for a server with the given geometry. Metric identity is shared
+// get-or-create, so several servers in one process (tests, sims) feed the
+// same counters.
+func newMetrics(layerSizes []int, workers int) *metrics {
+	reg := telemetry.Default()
+	m := &metrics{
+		pushes: reg.Counter("dgs_ps_pushes_total",
+			"Sparse updates applied to the server (the logical clock)."),
+		resyncs: reg.Counter("dgs_ps_resyncs_total",
+			"Worker state resets from crash/rejoin recoveries."),
+		upValues: reg.Counter("dgs_ps_up_values_total",
+			"Nonzero values received in upward (worker to server) updates."),
+		downValues: reg.Counter("dgs_ps_down_values_total",
+			"Nonzero values shipped in downward (server to worker) differences."),
+		density: reg.Gauge("dgs_ps_down_density",
+			"Density of the last downward difference: values sent / model size."),
+		staleness: make([]*telemetry.Histogram, workers),
+	}
+	for k := range m.staleness {
+		m.staleness[k] = reg.Histogram("dgs_ps_staleness",
+			"Staleness observed per push: server updates since the worker's last exchange.",
+			telemetry.StalenessBuckets(), "worker", strconv.Itoa(k))
+	}
+	for _, n := range layerSizes {
+		m.modelSize += float64(n)
+	}
+	return m
+}
+
+// observePush records one completed exchange. All paths are alloc-free.
+func (m *metrics) observePush(worker int, stale, upNNZ, downNNZ uint64) {
+	if m == nil {
+		return
+	}
+	m.pushes.Inc()
+	m.staleness[worker].Observe(float64(stale))
+	m.upValues.Add(upNNZ)
+	m.downValues.Add(downNNZ)
+	if m.modelSize > 0 {
+		m.density.Set(float64(downNNZ) / m.modelSize)
+	}
+}
+
+// observeResync records one worker state reset.
+func (m *metrics) observeResync() {
+	if m == nil {
+		return
+	}
+	m.resyncs.Inc()
+}

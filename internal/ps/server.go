@@ -37,6 +37,10 @@ type Config struct {
 	// the wire cost is the full dense model — this flag exists so traffic
 	// accounting reflects the baseline's true cost.
 	DenseDownward bool
+	// Quiet suppresses telemetry registration. ShardedServer sets it on its
+	// inner shards and instruments at the wrapper, so one logical push is
+	// counted once rather than once per shard.
+	Quiet bool
 }
 
 // Stats is a snapshot of server counters.
@@ -94,6 +98,8 @@ type Server struct {
 	denseIdx []int32 // 0..maxLayer-1, shared by all dense gathers
 	nzIdx    []int32 // nonzero-position scratch, reused under the lock
 	sel      sparse.Selector
+
+	met *metrics // nil when cfg.Quiet
 }
 
 // NewServer builds a server for the given configuration.
@@ -131,6 +137,9 @@ func NewServer(cfg Config) *Server {
 	for i := range s.denseIdx {
 		s.denseIdx[i] = int32(i)
 	}
+	if !cfg.Quiet {
+		s.met = newMetrics(cfg.LayerSizes, cfg.Workers)
+	}
 	return s
 }
 
@@ -156,6 +165,7 @@ func (s *Server) Resync(worker int) {
 	s.prev[worker] = s.t
 	s.epoch[worker]++
 	s.stats.Resyncs++
+	s.met.observeResync()
 }
 
 // Epoch returns worker k's incarnation counter.
@@ -244,6 +254,7 @@ func (s *Server) Push(worker int, g *sparse.Update) (sparse.Update, uint64) {
 		sparse.Scatter(c, vl, 1)
 	}
 	s.prev[worker] = s.t
+	s.met.observePush(worker, stale, uint64(g.NNZ()), uint64(out.NNZ()))
 	return *out, s.t
 }
 

@@ -27,6 +27,12 @@ type ShardedServer struct {
 	// split[k] is worker k's exchange scratch; each worker's exchanges are
 	// serialised by the transport, so slots are never used concurrently.
 	split []shardSplit
+	// prevClock[k] is the logical clock returned at worker k's last push,
+	// for wrapper-level staleness telemetry. Each slot is touched only by
+	// its worker (exchanges are serialised per worker), so plain stores
+	// suffice.
+	prevClock []uint64
+	met       *metrics
 }
 
 // shardSplit is per-worker scratch for splitting an upward update across
@@ -68,6 +74,7 @@ func NewShardedServer(cfg Config, numShards int) *ShardedServer {
 	}
 	for i := 0; i < numShards; i++ {
 		sc := cfg
+		sc.Quiet = true // the wrapper instruments logical pushes itself
 		sc.LayerSizes = shardLayers[i]
 		if len(sc.LayerSizes) == 0 {
 			// Guaranteed non-empty by the numShards clamp above, but keep
@@ -87,6 +94,10 @@ func NewShardedServer(cfg Config, numShards int) *ShardedServer {
 	s.split = make([]shardSplit, cfg.Workers)
 	for k := range s.split {
 		s.split[k].perShard = make([]sparse.Update, numShards)
+	}
+	s.prevClock = make([]uint64, cfg.Workers)
+	if !cfg.Quiet {
+		s.met = newMetrics(cfg.LayerSizes, cfg.Workers)
 	}
 	return s
 }
@@ -130,6 +141,18 @@ func (s *ShardedServer) Push(worker int, g *sparse.Update) (sparse.Update, uint6
 			sp.out.Chunks = append(sp.out.Chunks, c)
 		}
 	}
+	if s.met != nil {
+		// The clock (sum of shard timestamps) advances by NumShards per
+		// logical push, so pushes by other workers since this worker's last
+		// exchange are (Δclock / NumShards) − 1. Interleaved shard pushes
+		// can skew a reading by a fraction; fine for a monitoring histogram.
+		stale := float64(clock-s.prevClock[worker])/float64(len(s.shards)) - 1
+		if stale < 0 {
+			stale = 0
+		}
+		s.met.observePush(worker, uint64(stale), uint64(g.NNZ()), uint64(sp.out.NNZ()))
+	}
+	s.prevClock[worker] = clock
 	return sp.out, clock
 }
 
@@ -141,6 +164,7 @@ func (s *ShardedServer) Resync(worker int) {
 	for _, shard := range s.shards {
 		shard.Resync(worker)
 	}
+	s.met.observeResync()
 }
 
 // Epoch returns the worker's incarnation counter (identical across shards;

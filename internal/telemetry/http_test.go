@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestMetricsHTTPRoundTrip spins up the endpoint on an ephemeral port,
+// scrapes /metrics over real HTTP, and checks the body is the registry's
+// Prometheus page with the right content type.
+func TestMetricsHTTPRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rt_pushes_total", "Pushes.", "worker", "0").Add(42)
+	reg.Histogram("rt_lat", "Latency.", []float64{0.001, 0.01}).Observe(0.002)
+
+	srv, err := ListenAndServe("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`rt_pushes_total{worker="0"} 42`,
+		"# TYPE rt_lat histogram",
+		`rt_lat_bucket{le="0.01"} 1`,
+		"rt_lat_count 1",
+	} {
+		if !strings.Contains(string(body), line) {
+			t.Fatalf("/metrics missing %q:\n%s", line, body)
+		}
+	}
+}
+
+func TestHealthzAndManifestEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := ListenAndServe("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d", resp.StatusCode)
+	}
+
+	// No manifest attached yet: 404.
+	resp, err = http.Get(srv.URL() + "/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/manifest without manifest: status = %d, want 404", resp.StatusCode)
+	}
+
+	m := NewManifest(reg)
+	m.Set("method", "dgs")
+	m.Set("workers", 2)
+	srv.SetManifest(m)
+	reg.Counter("mf_ops_total", "ops").Add(3)
+
+	resp, err = http.Get(srv.URL() + "/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/manifest status = %d", resp.StatusCode)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["schema"] != ManifestSchema {
+		t.Fatalf("schema = %v", doc["schema"])
+	}
+	run, _ := doc["run"].(map[string]any)
+	if run["method"] != "dgs" {
+		t.Fatalf("run = %v", run)
+	}
+	metrics, _ := doc["metrics"].(map[string]any)
+	if metrics["mf_ops_total"] != float64(3) {
+		t.Fatalf("metrics = %v", metrics)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	srv, err := ListenAndServe("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(srv.URL() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// ManifestSchema identifies the snapshot layout, so downstream tooling can
+// evolve with it.
+const ManifestSchema = "dgs-run-manifest/1"
+
+// Manifest is a self-describing snapshot of a run: static configuration
+// (method, worker count, keep ratio, …) set once by the embedding process,
+// plus a live export of every registry metric. Periodic snapshots make the
+// paper's Figure 5–7-style traffic numbers readable while a run is in
+// flight instead of post-hoc from CSV dumps.
+type Manifest struct {
+	reg   *Registry
+	start time.Time
+
+	mu     sync.Mutex
+	static map[string]any
+}
+
+// NewManifest builds a manifest over reg (nil means Default()).
+func NewManifest(reg *Registry) *Manifest {
+	if reg == nil {
+		reg = Default()
+	}
+	return &Manifest{reg: reg, start: time.Now(), static: map[string]any{}}
+}
+
+// Set records one static run descriptor (e.g. "method", "workers").
+func (m *Manifest) Set(key string, value any) {
+	m.mu.Lock()
+	m.static[key] = value
+	m.mu.Unlock()
+}
+
+// Snapshot assembles the current manifest document.
+func (m *Manifest) Snapshot() map[string]any {
+	m.mu.Lock()
+	run := make(map[string]any, len(m.static))
+	for k, v := range m.static {
+		run[k] = v
+	}
+	m.mu.Unlock()
+	now := time.Now()
+	return map[string]any{
+		"schema":         ManifestSchema,
+		"written_unix":   now.Unix(),
+		"uptime_seconds": now.Sub(m.start).Seconds(),
+		"run":            run,
+		"metrics":        m.reg.Export(),
+	}
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Snapshot())
+}
+
+// WriteFile atomically replaces path with the current snapshot (write to a
+// temp file in the same directory, then rename), so a reader never sees a
+// torn manifest.
+func (m *Manifest) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".manifest-*.json")
+	if err != nil {
+		return fmt.Errorf("telemetry: manifest temp file: %w", err)
+	}
+	if err := m.WriteJSON(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("telemetry: manifest write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("telemetry: manifest close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("telemetry: manifest rename: %w", err)
+	}
+	return nil
+}
+
+// StartPeriodic writes the manifest to path every interval (default 10 s
+// when zero) until the returned stop function is called. Stop writes one
+// final snapshot so the file always reflects the end state of the run.
+// Write errors are reported once on stderr and do not stop the loop — a
+// full disk must not kill training.
+func (m *Manifest) StartPeriodic(path string, every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		warned := false
+		write := func() {
+			if err := m.WriteFile(path); err != nil && !warned {
+				warned = true
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+		write() // an initial snapshot, so the file exists immediately
+		for {
+			select {
+			case <-tick.C:
+				write()
+			case <-done:
+				write()
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}

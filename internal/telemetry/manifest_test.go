@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func readManifest(t *testing.T, path string) map[string]any {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("manifest not valid JSON: %v\n%s", err, raw)
+	}
+	return doc
+}
+
+func TestManifestWriteFile(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("wf_steps_total", "steps").Add(9)
+	m := NewManifest(reg)
+	m.Set("method", "samomentum")
+
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	doc := readManifest(t, path)
+	if doc["schema"] != ManifestSchema {
+		t.Fatalf("schema = %v", doc["schema"])
+	}
+	run := doc["run"].(map[string]any)
+	if run["method"] != "samomentum" {
+		t.Fatalf("run = %v", run)
+	}
+	metrics := doc["metrics"].(map[string]any)
+	if metrics["wf_steps_total"] != float64(9) {
+		t.Fatalf("metrics = %v", metrics)
+	}
+	// No temp files left behind in the directory.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1 (temp file leaked?)", len(entries))
+	}
+}
+
+func TestManifestStartPeriodic(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("pp_steps_total", "steps")
+	m := NewManifest(reg)
+	path := filepath.Join(t.TempDir(), "run.json")
+
+	stop := m.StartPeriodic(path, time.Hour) // only the initial + final writes
+	// The initial snapshot is written synchronously enough for polling.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("initial manifest never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Add(4)
+	stop()
+	stop() // idempotent
+
+	doc := readManifest(t, path)
+	metrics := doc["metrics"].(map[string]any)
+	if metrics["pp_steps_total"] != float64(4) {
+		t.Fatalf("final snapshot stale: %v", metrics)
+	}
+}

@@ -2,12 +2,19 @@
 
 package tensor
 
+import "os"
+
 // useSIMDKernel reports whether the AVX2+FMA micro-kernel may be used.
 // It requires CPU support for AVX2 and FMA plus OS support for saving the
-// YMM register state (OSXSAVE + XCR0 bits 1 and 2).
+// YMM register state (OSXSAVE + XCR0 bits 1 and 2). Setting
+// DGS_DISABLE_SIMD=1 forces the portable Go micro-kernel, so CI can
+// exercise the generic path on AVX2 machines.
 var useSIMDKernel = detectSIMD()
 
 func detectSIMD() bool {
+	if os.Getenv("DGS_DISABLE_SIMD") != "" {
+		return false
+	}
 	maxID, _, _, _ := cpuidex(0, 0)
 	if maxID < 7 {
 		return false

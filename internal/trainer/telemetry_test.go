@@ -1,0 +1,135 @@
+package trainer
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dgs/internal/data"
+	"dgs/internal/nn"
+	"dgs/internal/telemetry"
+	"dgs/internal/tensor"
+)
+
+// TestTelemetryEndToEnd runs a small 2-worker DGS training and scrapes the
+// telemetry HTTP endpoint: push counts, the per-worker staleness
+// histogram, and the compression ratios must all be live. Assertions are
+// lower bounds, not exact values — the default registry accumulates
+// across every test in the process.
+func TestTelemetryEndToEnd(t *testing.T) {
+	srv, err := telemetry.ListenAndServe("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	before := scrapeValue(t, srv.URL(), "dgs_ps_pushes_total")
+
+	ds := data.NewGaussianMixture(8, 4, 256, 64, 0.35, 1)
+	res, err := Run(Config{
+		Method: DGS, Workers: 2, BatchSize: 16, Epochs: 2,
+		LR: 0.05, Momentum: 0.7, KeepRatio: 0.05, Seed: 1,
+		Dataset: ds,
+		BuildModel: func(rng *tensor.RNG) *nn.Model {
+			return nn.NewMLP(rng, 8, 32, 16, 4)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("run did no iterations")
+	}
+
+	body := scrape(t, srv.URL())
+	pushes := metricValue(t, body, "dgs_ps_pushes_total")
+	// Every iteration plus the final-sync drain exchanges push once.
+	if pushes < before+float64(res.Iterations) {
+		t.Fatalf("dgs_ps_pushes_total = %v, want >= %v", pushes, before+float64(res.Iterations))
+	}
+	for _, w := range []string{"0", "1"} {
+		count := metricValue(t, body, `dgs_ps_staleness_count{worker="`+w+`"}`)
+		if count == 0 {
+			t.Fatalf("staleness histogram for worker %s is empty:\n%s", w, grepMetrics(body, "staleness"))
+		}
+	}
+	if v := metricValue(t, body, "dgs_trainer_steps_total"); v < float64(res.Iterations) {
+		t.Fatalf("dgs_trainer_steps_total = %v, want >= %d", v, res.Iterations)
+	}
+	if v := metricValue(t, body, "dgs_exchange_up_bytes_total"); v == 0 {
+		t.Fatal("no upward bytes counted")
+	}
+	// Top-5% upward sparsification must compress well against the dense
+	// baseline (index+value overhead halves the ideal 20x; demand > 2x).
+	if v := metricValue(t, body, "dgs_exchange_up_compression_ratio"); v < 2 {
+		t.Fatalf("dgs_exchange_up_compression_ratio = %v, want > 2", v)
+	}
+	if v := metricValue(t, body, `dgs_optim_topk_ns_total{rule="samomentum"}`); v == 0 {
+		t.Fatal("no Top-k selection time recorded for SAMomentum")
+	}
+	if v := metricValue(t, body, "dgs_transport_exchange_seconds_count"); v == 0 {
+		t.Fatal("no exchange latencies recorded")
+	}
+}
+
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// scrapeValue fetches one metric's current value (0 when absent).
+func scrapeValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	body := scrape(t, base)
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// metricValue finds `series value` in a Prometheus page and fails the test
+// when the series is missing.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %q not found in /metrics output:\n%s", series, body)
+	return 0
+}
+
+// grepMetrics returns the lines matching a pattern, for failure messages.
+func grepMetrics(body, pattern string) string {
+	re := regexp.MustCompile(pattern)
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		if re.MatchString(line) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -19,6 +19,7 @@ import (
 	"dgs/internal/quant"
 	"dgs/internal/sparse"
 	"dgs/internal/stats"
+	"dgs/internal/telemetry"
 	"dgs/internal/tensor"
 	"dgs/internal/transport"
 )
@@ -127,6 +128,15 @@ type Config struct {
 	// Shards, when > 1, partitions the parameter server into that many
 	// independently-locked shards (Li et al.'s PS scaling architecture).
 	Shards int
+	// MetricsAddr, when non-empty (e.g. "127.0.0.1:9090" or ":0"), serves
+	// the telemetry HTTP endpoint (/metrics, /manifest, /debug/pprof) for
+	// the duration of the run.
+	MetricsAddr string
+	// ManifestPath, when non-empty, periodically writes the JSON run
+	// manifest (static run descriptors + live metric export) to this file.
+	ManifestPath string
+	// ManifestEvery is the manifest write interval (default 10s).
+	ManifestEvery time.Duration
 }
 
 // Result captures everything a run produced.
@@ -242,6 +252,7 @@ var updPool = sync.Pool{New: func() any { return new(sparse.Update) }}
 // It is shared by the in-process loopback and the TCP server binary, and
 // accepts either a plain Server or a ShardedServer.
 func Handler(server ps.Pusher) transport.Handler {
+	hm := newHandlerMetrics(server.LayerSizes())
 	return func(worker int, payload []byte) ([]byte, error) {
 		g := updPool.Get().(*sparse.Update)
 		defer updPool.Put(g)
@@ -252,7 +263,9 @@ func Handler(server ps.Pusher) transport.Handler {
 			}
 		}
 		G, _ := server.Push(worker, g)
-		return sparse.Encode(&G), nil
+		resp := sparse.Encode(&G)
+		hm.observe(len(payload), len(resp))
+		return resp, nil
 	}
 }
 
@@ -286,6 +299,25 @@ func Run(cfg Config) (*Result, error) {
 		server = ps.NewServer(serverConfig(&cfg, sizes))
 	}
 	handler := Handler(server)
+
+	// Observability: optional HTTP endpoint and periodic run manifest. The
+	// metrics themselves are always recorded (the instrumented packages feed
+	// the process-wide registry); these only control exposure.
+	if cfg.MetricsAddr != "" || cfg.ManifestPath != "" {
+		manifest := runManifest(&cfg, sizes)
+		if cfg.MetricsAddr != "" {
+			msrv, err := telemetry.ListenAndServe(cfg.MetricsAddr, nil)
+			if err != nil {
+				return nil, err
+			}
+			msrv.SetManifest(manifest)
+			defer msrv.Close()
+		}
+		if cfg.ManifestPath != "" {
+			stop := manifest.StartPeriodic(cfg.ManifestPath, cfg.ManifestEvery)
+			defer stop()
+		}
+	}
 
 	// makeTransport hands each worker (and the final sync) its own handle;
 	// traffic() reads the server-side byte counters afterwards.
@@ -380,6 +412,30 @@ func Run(cfg Config) (*Result, error) {
 	res.FinalAccuracy = evaluate(&cfg, models[0])
 	res.Accuracy.Add(float64(cfg.Epochs), res.FinalAccuracy)
 	return res, nil
+}
+
+// runManifest assembles the static run descriptors for the telemetry
+// manifest (the live metrics section is filled at snapshot time).
+func runManifest(cfg *Config, sizes []int) *telemetry.Manifest {
+	m := telemetry.NewManifest(nil)
+	params := 0
+	for _, n := range sizes {
+		params += n
+	}
+	m.Set("method", cfg.Method.String())
+	m.Set("workers", cfg.Workers)
+	m.Set("batch_size", cfg.BatchSize)
+	m.Set("epochs", cfg.Epochs)
+	m.Set("lr", cfg.LR)
+	m.Set("momentum", cfg.Momentum)
+	m.Set("keep_ratio", cfg.KeepRatio)
+	m.Set("secondary", cfg.Secondary)
+	m.Set("secondary_ratio", cfg.SecondaryRatio)
+	m.Set("shards", cfg.Shards)
+	m.Set("seed", cfg.Seed)
+	m.Set("params", params)
+	m.Set("tcp", cfg.TCPAddr != "")
+	return m
 }
 
 // syncModel exchanges empty updates until the downward difference drains,
@@ -484,7 +540,8 @@ func (w *worker) run() (*nn.Model, error) {
 		}
 		batch := loader.Next()
 
-		t0 := time.Now()
+		iterStart := time.Now()
+		t0 := iterStart
 		model.ZeroGrad()
 		logits := model.Forward(batch.X, true)
 		loss, g := nn.SoftmaxCrossEntropy(logits, batch.Labels)
@@ -528,6 +585,7 @@ func (w *worker) run() (*nn.Model, error) {
 			c := &w.down.Chunks[ci]
 			sparse.Scatter(c, params[c.Layer].Value.Data, 1)
 		}
+		observeStep(iterStart)
 
 		epoch := float64(iter+1) * float64(cfg.BatchSize) / w.samplesPerEpoch
 		w.res.Loss.Add(epoch, loss)

@@ -82,6 +82,7 @@ func (f *Faulty) Exchange(worker int, payload []byte) ([]byte, error) {
 	if f.roll(f.cfg.Delay) && f.cfg.MaxDelay > 0 {
 		sleep = time.Duration(f.rng.Int63n(int64(f.cfg.MaxDelay)))
 		f.stats.Delays++
+		tmet.faultDelay.Inc()
 	}
 	reset := f.roll(f.cfg.Reset)
 	dropBefore := f.roll(f.cfg.DropBeforeSend)
@@ -89,13 +90,17 @@ func (f *Faulty) Exchange(worker int, payload []byte) ([]byte, error) {
 	dropAfter := f.roll(f.cfg.DropAfterSend)
 	if reset {
 		f.stats.Resets++
+		tmet.faultReset.Inc()
 		f.closed = true
 	} else if dropBefore {
 		f.stats.DropsBefore++
+		tmet.faultDropBefore.Inc()
 	} else if duplicate {
 		f.stats.Duplicates++
+		tmet.faultDuplicate.Inc()
 	} else if dropAfter {
 		f.stats.DropsAfter++
+		tmet.faultDropAfter.Inc()
 	}
 	f.mu.Unlock()
 

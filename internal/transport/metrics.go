@@ -1,0 +1,67 @@
+package transport
+
+import "dgs/internal/telemetry"
+
+// tmet holds the package's telemetry handles, resolved once at package
+// init so the exchange hot paths perform only atomic updates. Everything
+// registers against the default registry: a process that never starts the
+// telemetry HTTP endpoint pays a handful of atomic adds and nothing else.
+var tmet = struct {
+	exchangeSeconds *telemetry.Histogram
+	handlerSeconds  *telemetry.Histogram
+	exchangeErrors  *telemetry.Counter
+	retries         *telemetry.Counter
+	dials           *telemetry.Counter
+
+	sessExchanges   *telemetry.Counter
+	sessReplays     *telemetry.Counter
+	sessHellos      *telemetry.Counter
+	sessStale       *telemetry.Counter
+	sessBadSeq      *telemetry.Counter
+	sessPassthrough *telemetry.Counter
+
+	faultDropBefore *telemetry.Counter
+	faultDropAfter  *telemetry.Counter
+	faultDuplicate  *telemetry.Counter
+	faultReset      *telemetry.Counter
+	faultDelay      *telemetry.Counter
+}{}
+
+func init() {
+	reg := telemetry.Default()
+	tmet.exchangeSeconds = reg.Histogram("dgs_transport_exchange_seconds",
+		"Client-side latency of successful exchange round trips.",
+		telemetry.DurationBuckets())
+	tmet.handlerSeconds = reg.Histogram("dgs_transport_handler_seconds",
+		"Server-side latency of handler invocations (decode, push, encode).",
+		telemetry.DurationBuckets())
+	tmet.exchangeErrors = reg.Counter("dgs_transport_exchange_errors_total",
+		"Client-side exchange failures (network faults and server rejections).")
+	tmet.retries = reg.Counter("dgs_transport_retries_total",
+		"Exchange attempts beyond the first in the reconnect layer.")
+	tmet.dials = reg.Counter("dgs_transport_dials_total",
+		"Connections established by the reconnect layer.")
+
+	tmet.sessExchanges = reg.Counter("dgs_session_exchanges_total",
+		"Session frames executed against the handler exactly once.")
+	tmet.sessReplays = reg.Counter("dgs_session_replays_total",
+		"Retried frames answered from the replay cache without re-execution.")
+	tmet.sessHellos = reg.Counter("dgs_session_hellos_total",
+		"New worker incarnations adopted (resyncs triggered).")
+	tmet.sessStale = reg.Counter("dgs_session_stale_rejected_total",
+		"Frames fenced off for carrying a superseded session.")
+	tmet.sessBadSeq = reg.Counter("dgs_session_badseq_total",
+		"Frames rejected for unorderable sequence numbers.")
+	tmet.sessPassthrough = reg.Counter("dgs_session_passthrough_total",
+		"Sessionless frames forwarded without exactly-once guarantees.")
+
+	fault := func(kind, help string) *telemetry.Counter {
+		return reg.Counter("dgs_transport_injected_faults_total", help, "kind", kind)
+	}
+	help := "Faults injected by the chaos wrapper, by kind."
+	tmet.faultDropBefore = fault("drop_before", help)
+	tmet.faultDropAfter = fault("drop_after", help)
+	tmet.faultDuplicate = fault("duplicate", help)
+	tmet.faultReset = fault("reset", help)
+	tmet.faultDelay = fault("delay", help)
+}

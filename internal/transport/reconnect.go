@@ -61,11 +61,14 @@ func (r *Reconnecting) Exchange(worker int, payload []byte) ([]byte, error) {
 		retries = 0
 	}
 	for attempt := 0; attempt <= retries; attempt++ {
-		if attempt > 0 && backoff > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
-			if r.MaxBackoff > 0 && backoff > r.MaxBackoff {
-				backoff = r.MaxBackoff
+		if attempt > 0 {
+			tmet.retries.Inc()
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+				if r.MaxBackoff > 0 && backoff > r.MaxBackoff {
+					backoff = r.MaxBackoff
+				}
 			}
 		}
 		if r.current == nil {
@@ -74,6 +77,7 @@ func (r *Reconnecting) Exchange(worker int, payload []byte) ([]byte, error) {
 				lastErr = err
 				continue
 			}
+			tmet.dials.Inc()
 			r.current = t
 		}
 		resp, err := r.current.Exchange(worker, payload)

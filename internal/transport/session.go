@@ -289,6 +289,7 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 	if !IsSessionFrame(payload) {
 		// Sessionless client: forward verbatim, no exactly-once guarantee.
 		e.count(func(s *SessionStats) { s.Passthrough++ })
+		tmet.sessPassthrough.Inc()
 		return e.h(worker, payload)
 	}
 	flags, session, seq, app, err := decodeSessionReq(payload)
@@ -304,6 +305,7 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 			// Straggler from a dead incarnation (or an unknown session that
 			// never said hello): fence it off without touching state.
 			e.count(func(s *SessionStats) { s.StaleRejected++ })
+			tmet.sessStale.Inc()
 			return encodeSessionResp(statusStaleSession, ws.epoch, nil), nil
 		}
 		// New incarnation: bump the epoch, resync, adopt. The hello frame
@@ -324,6 +326,7 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 		ws.lastSeq = seq - 1
 		ws.lastResp = nil
 		e.count(func(s *SessionStats) { s.Hellos++ })
+		tmet.sessHellos.Inc()
 	}
 
 	switch {
@@ -332,6 +335,7 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 		// duplicated frame): answer from the cache, do NOT re-run the
 		// handler — this is the exactly-once guarantee.
 		e.count(func(s *SessionStats) { s.Replays++ })
+		tmet.sessReplays.Inc()
 		return ws.lastResp, nil
 	case seq == ws.lastSeq+1:
 		resp, herr := e.h(worker, app)
@@ -348,12 +352,14 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 		ws.lastSeq = seq
 		ws.lastResp = enc
 		e.count(func(s *SessionStats) { s.Exchanges++ })
+		tmet.sessExchanges.Inc()
 		return enc, nil
 	default:
 		// A gap or a rewind beyond the one-deep replay window. With one
 		// serialised client per session this cannot happen; refuse rather
 		// than guess.
 		e.count(func(s *SessionStats) { s.BadSeq++ })
+		tmet.sessBadSeq.Inc()
 		return encodeSessionResp(statusBadSeq, ws.epoch, nil), nil
 	}
 }

@@ -136,7 +136,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
+		h0 := time.Now()
 		resp, err := s.callHandler(int(worker), payload)
+		tmet.handlerSeconds.Observe(time.Since(h0).Seconds())
 		status := byte(statusOK)
 		if err != nil {
 			// Handler failure: report it as an explicit error frame and keep
@@ -227,6 +229,15 @@ func DialTCP(addr string) (*TCPClient, error) {
 // ErrBrokenConn: a half-transmitted frame leaves the stream desynchronised,
 // and continuing would silently pair requests with the wrong responses.
 func (c *TCPClient) Exchange(worker int, payload []byte) ([]byte, error) {
+	resp, err := c.exchange(worker, payload)
+	if err != nil {
+		tmet.exchangeErrors.Inc()
+	}
+	return resp, err
+}
+
+func (c *TCPClient) exchange(worker int, payload []byte) ([]byte, error) {
+	t0 := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.broken {
@@ -275,6 +286,7 @@ func (c *TCPClient) Exchange(worker int, payload []byte) ([]byte, error) {
 		// The frame itself was intact, so the connection stays usable.
 		return nil, &ServerError{Msg: string(resp)}
 	}
+	tmet.exchangeSeconds.Observe(time.Since(t0).Seconds())
 	c.Traffic.Record(len(payload), len(resp))
 	return resp, nil
 }

@@ -5,7 +5,10 @@
 // exact communication volumes.
 package transport
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Transport is the worker-side communication handle: one round trip sends
 // the worker's encoded update and returns the server's encoded response.
@@ -57,10 +60,13 @@ func NewLoopback(h Handler) *Loopback {
 
 // Exchange implements Transport.
 func (l *Loopback) Exchange(worker int, payload []byte) ([]byte, error) {
+	t0 := time.Now()
 	resp, err := l.H(worker, payload)
 	if err != nil {
+		tmet.exchangeErrors.Inc()
 		return nil, err
 	}
+	tmet.exchangeSeconds.Observe(time.Since(t0).Seconds())
 	l.Traffic.Record(len(payload), len(resp))
 	return resp, nil
 }
