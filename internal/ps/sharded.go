@@ -27,10 +27,10 @@ type ShardedServer struct {
 	// split[k] is worker k's exchange scratch; each worker's exchanges are
 	// serialised by the transport, so slots are never used concurrently.
 	split []shardSplit
-	// prevClock[k] is the logical clock returned at worker k's last push,
-	// for wrapper-level staleness telemetry. Each slot is touched only by
-	// its worker (exchanges are serialised per worker), so plain stores
-	// suffice.
+	// prevClock[k] is the logical clock returned at worker k's last push
+	// (reset by Resync), for wrapper-level staleness telemetry. Each slot is
+	// touched only on behalf of its worker, whose exchanges and resyncs the
+	// transport serialises, so plain stores suffice.
 	prevClock []uint64
 	met       *metrics
 }
@@ -161,9 +161,17 @@ func (s *ShardedServer) Push(worker int, g *sparse.Update) (sparse.Update, uint6
 // transport layer serialises a worker's exchanges), so no shard can see a
 // push from the old incarnation afterwards.
 func (s *ShardedServer) Resync(worker int) {
+	var clock uint64
 	for _, shard := range s.shards {
 		shard.Resync(worker)
+		clock += shard.Timestamp()
 	}
+	// Move the wrapper-level staleness baseline to now, mirroring what each
+	// shard does with prev(k): without this the first post-rejoin push would
+	// report the whole outage as staleness. Pushes by other workers racing
+	// this read can only overshoot the baseline, and the staleness clamp at
+	// zero absorbs that.
+	s.prevClock[worker] = clock
 	s.met.observeResync()
 }
 

@@ -131,6 +131,32 @@ func TestShardedConcurrentConservation(t *testing.T) {
 	}
 }
 
+func TestShardedResyncResetsStalenessBaseline(t *testing.T) {
+	sizes := []int{8, 8}
+	s := NewShardedServer(Config{LayerSizes: sizes, Workers: 2}, 2)
+	empty := sparse.Update{}
+	// Worker 0 advances the clock while worker 1 is "down".
+	s.Push(1, &empty)
+	for i := 0; i < 5; i++ {
+		s.Push(0, &empty)
+	}
+	s.Resync(1)
+	var clock uint64
+	for _, shard := range s.shards {
+		clock += shard.Timestamp()
+	}
+	if s.prevClock[1] != clock {
+		t.Fatalf("prevClock after resync = %d, want current summed clock %d", s.prevClock[1], clock)
+	}
+	// The first post-rejoin push therefore observes only its own clock
+	// advance (staleness 0), not the whole outage.
+	_, after := s.Push(1, &empty)
+	stale := float64(after-clock)/float64(s.NumShards()) - 1
+	if stale != 0 {
+		t.Fatalf("first post-resync staleness = %v, want 0", stale)
+	}
+}
+
 func TestShardedBadShardCountPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -52,6 +53,57 @@ func TestConcurrentUpdates(t *testing.T) {
 	wantSum *= workers
 	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
 		t.Fatalf("histogram sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestScrapeDuringRegistration renders and exports the registry while
+// another goroutine is still creating metrics and re-registering gauge
+// callbacks. That interleaving happens in shipped flows — dgs-worker serves
+// /metrics before the trainer constructs its optimizers, and
+// Manifest.StartPeriodic exports while trainer.Run is still wiring workers —
+// so under -race this is the proof that collection never walks live registry
+// maps or reads GaugeFunc callbacks unsynchronised.
+//
+// Each round pairs one registrar (fresh child creation plus callback
+// replacement) with one scraper, joined by a barrier, so registration
+// overlaps collection in every round instead of racing it once to
+// completion at test start.
+func TestScrapeDuringRegistration(t *testing.T) {
+	reg := NewRegistry()
+	const rounds = 32
+	const perRound = 64
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			rs := strconv.Itoa(r)
+			for i := 0; i < perRound; i++ {
+				reg.Counter("race_ops_total", "ops", "round", rs, "i", strconv.Itoa(i)).Inc()
+				reg.Histogram("race_lat", "lat", []float64{1, 2, 4}, "round", rs).Observe(float64(i % 5))
+				v := float64(i)
+				reg.GaugeFunc("race_ratio", "ratio", func() float64 { return v })
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				reg.Render()
+				reg.Export()
+			}
+		}()
+		wg.Wait()
+	}
+	// Post-quiescence sanity: every registration landed.
+	out := reg.Export()
+	total := 0.0
+	for key, v := range out {
+		if strings.HasPrefix(key, "race_ops_total{") {
+			total += v.(float64)
+		}
+	}
+	if want := float64(rounds * perRound); total != want {
+		t.Fatalf("summed race_ops_total = %v, want %v", total, want)
 	}
 }
 

@@ -199,28 +199,42 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 	return ch.hist
 }
 
-// snapshotFams copies the family table under the lock so rendering and
-// export walk a stable structure (metric values are still read live —
-// monitoring tolerates that).
-func (r *Registry) snapshotFams() []*family {
+// famSnap is a point-in-time copy of one family taken under the registry
+// lock: the children slice holds child copies (labels, metric pointers, fn),
+// already sorted by label set. Rendering and export walk these copies, never
+// the live family maps, because registration is concurrent with collection
+// in shipped flows — dgs-worker serves /metrics before the trainer has
+// constructed its optimizers, and Manifest.StartPeriodic exports while
+// trainer.Run is still wiring workers. Metric values are still read live
+// through the copied pointers (atomics; monitoring tolerates that).
+type famSnap struct {
+	name, help, typ string
+	children        []child
+}
+
+// snapshotFams copies every family and its children under the lock so
+// rendering and export walk a stable structure. Reading ch.fn here, under
+// the same lock GaugeFunc writes it, is what makes callback re-registration
+// safe against a concurrent scrape.
+func (r *Registry) snapshotFams() []famSnap {
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.fams))
+	fams := make([]famSnap, 0, len(r.fams))
 	for _, f := range r.fams {
-		fams = append(fams, f)
+		fs := famSnap{
+			name:     f.name,
+			help:     f.help,
+			typ:      f.typ,
+			children: make([]child, 0, len(f.children)),
+		}
+		for _, ch := range f.children {
+			fs.children = append(fs.children, *ch)
+		}
+		sort.Slice(fs.children, func(i, j int) bool { return fs.children[i].labels < fs.children[j].labels })
+		fams = append(fams, fs)
 	}
 	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	return fams
-}
-
-// sortedChildren returns a family's children in label order.
-func (f *family) sortedChildren() []*child {
-	kids := make([]*child, 0, len(f.children))
-	for _, ch := range f.children {
-		kids = append(kids, ch)
-	}
-	sort.Slice(kids, func(i, j int) bool { return kids[i].labels < kids[j].labels })
-	return kids
 }
 
 // value reads a counter/gauge/func child's current value.
@@ -245,7 +259,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
-		for _, ch := range f.sortedChildren() {
+		for i := range f.children {
+			ch := &f.children[i]
 			if f.typ == typeHistogram {
 				writeHistogram(w, f.name, ch)
 				continue
@@ -303,7 +318,8 @@ func formatFloat(v float64) string {
 func (r *Registry) Export() map[string]any {
 	out := map[string]any{}
 	for _, f := range r.snapshotFams() {
-		for _, ch := range f.sortedChildren() {
+		for i := range f.children {
+			ch := &f.children[i]
 			key := f.name + braced(ch.labels)
 			if f.typ == typeHistogram {
 				h := ch.hist

@@ -4,21 +4,39 @@ package tensor
 
 import (
 	"math"
+	"os"
+	"os/exec"
 	"testing"
 )
 
-// TestGenericKernelMatchesBaseline forces the portable Go micro-kernel on
-// AVX2 machines (the same path DGS_DISABLE_SIMD selects at startup) and
-// checks Gemm/GemmTA/GemmTB against the naive baselines, so
-// gemm_kernel_generic.go stays covered even when every CI runner has AVX2.
+// TestGenericKernelMatchesBaseline covers the portable Go micro-kernel on
+// AVX2 machines (the same path DGS_DISABLE_SIMD selects at startup), so
+// gemm_kernel_generic.go stays correct even when every CI runner has AVX2.
+//
+// The kernel choice is a package global resolved at init, and mutating it
+// in-process would race with any parallel test that calls Gemm, so the
+// check re-executes this test binary with DGS_DISABLE_SIMD=1 set: the child
+// picks the generic kernel at startup and runs the comparisons, and no
+// in-process state is ever touched.
 func TestGenericKernelMatchesBaseline(t *testing.T) {
-	saved := useSIMDKernel
-	useSIMDKernel = false
-	defer func() { useSIMDKernel = saved }()
-	if SIMDKernelEnabled() {
-		t.Fatal("SIMD kernel still reported enabled after override")
+	if os.Getenv("DGS_TEST_GENERIC_CHILD") != "" {
+		if SIMDKernelEnabled() {
+			t.Fatal("SIMD kernel still reported enabled under DGS_DISABLE_SIMD")
+		}
+		genericKernelChecks(t)
+		return
 	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestGenericKernelMatchesBaseline$", "-test.v")
+	cmd.Env = append(os.Environ(), "DGS_TEST_GENERIC_CHILD=1", "DGS_DISABLE_SIMD=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("generic-kernel child run failed: %v\n%s", err, out)
+	}
+}
 
+// genericKernelChecks compares Gemm/GemmTA/GemmTB against the naive
+// baselines across shapes that hit the partial-tile edge cases.
+func genericKernelChecks(t *testing.T) {
 	rng := NewRNG(7)
 	for _, dim := range []struct{ m, k, n int }{
 		{1, 1, 1}, {3, 5, 7}, {4, 16, 16}, {33, 47, 129},
