@@ -36,6 +36,7 @@ PAPER_BENCHTIME ?= 1x
 
 bench:
 	go run ./cmd/dgs-bench -microbench -benchtime $(BENCHTIME)
+	go run ./cmd/dgs-bench -pipebench
 	$(MAKE) bench-paper PAPER_BENCHTIME=$(PAPER_BENCHTIME)
 
 # The paper benchmarks run full (short-scale) training per artefact, so the
@@ -45,10 +46,17 @@ bench-paper:
 
 # Regression gate for CI: a fast microbench pass compared against the
 # tracked baseline with dgs-benchdiff (machine-relative speedups + the
-# zero-allocation invariants). SMOKE_OUT is uploaded as a CI artifact.
+# zero-allocation invariants), then the pipelined-exchange gate (the
+# depth-2-vs-depth-1 steps/sec ratio is measured within one run, so the
+# 1.3x floor is portable, as is the zero-alloc TCP exchange). SMOKE_OUT and
+# PIPE_SMOKE_OUT are uploaded as CI artifacts.
 SMOKE_BENCHTIME ?= 100ms
 SMOKE_OUT ?= bench-smoke.json
+PIPE_SMOKE_STEPS ?= 60
+PIPE_SMOKE_OUT ?= pipe-smoke.json
 
 bench-smoke:
 	go run ./cmd/dgs-bench -microbench -benchtime $(SMOKE_BENCHTIME) -json $(SMOKE_OUT)
 	go run ./cmd/dgs-benchdiff -baseline BENCH_PR2.json -current $(SMOKE_OUT)
+	go run ./cmd/dgs-bench -pipebench -pipe-steps $(PIPE_SMOKE_STEPS) -json $(PIPE_SMOKE_OUT)
+	go run ./cmd/dgs-benchdiff -pipeline -baseline BENCH_PR4.json -current $(PIPE_SMOKE_OUT)

@@ -9,6 +9,7 @@
 //	dgs-bench -all                    # everything (slow at -full)
 //	dgs-bench -exp figure2 -out dir   # also write report text files
 //	dgs-bench -microbench             # kernel/hot-path benchmarks → BENCH_PR2.json
+//	dgs-bench -pipebench              # pipelined-exchange benchmark → BENCH_PR4.json
 //	dgs-bench -microbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -35,8 +36,11 @@ func main() {
 		full       = flag.Bool("full", false, "paper-faithful scale (slow); default is short scale")
 		out        = flag.String("out", "", "directory to also write report text files into")
 		micro      = flag.Bool("microbench", false, "run the tracked microbenchmarks and write a JSON report")
-		microOut   = flag.String("json", "BENCH_PR2.json", "microbenchmark report path (with -microbench)")
+		pipe       = flag.Bool("pipebench", false, "run the pipelined-exchange benchmark and write a JSON report")
+		microOut   = flag.String("json", "", "report path (default BENCH_PR2.json for -microbench, BENCH_PR4.json for -pipebench)")
 		benchtime  = flag.String("benchtime", "", "per-benchmark time or count for -microbench (e.g. 1s, 100x)")
+		pipeSteps  = flag.Int("pipe-steps", 0, "measured steps per pipelined run (0 = default 240)")
+		pipeRTT    = flag.Duration("pipe-rtt", 0, "simulated round-trip time (0 = auto-calibrated from compute)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -71,7 +75,22 @@ func main() {
 	}
 
 	if *micro {
-		if err := runMicro(*microOut, *benchtime); err != nil {
+		path := *microOut
+		if path == "" {
+			path = "BENCH_PR2.json"
+		}
+		if err := runMicro(path, *benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *pipe {
+		path := *microOut
+		if path == "" {
+			path = "BENCH_PR4.json"
+		}
+		if err := runPipe(path, *pipeSteps, *pipeRTT); err != nil {
 			fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -125,6 +144,30 @@ func main() {
 			}
 		}
 	}
+}
+
+// runPipe runs the pipelined-exchange benchmark and writes the JSON report.
+func runPipe(path string, steps int, rtt time.Duration) error {
+	rep, err := bench.RunPipeline(steps, rtt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rtt %.2f ms, serial step %.2f ms, %d steps per run\n",
+		rep.RTTMillis, rep.SerialStepMillis, rep.Steps)
+	fmt.Printf("sync (depth 1):      %8.1f steps/sec\n", rep.StepsPerSecSync)
+	fmt.Printf("pipelined (depth %d): %8.1f steps/sec\n", rep.PipelineDepth, rep.StepsPerSecPipelined)
+	fmt.Printf("speedup:             %8.2fx\n", rep.Speedup)
+	fmt.Printf("tcp exchange:        %8.0f ns/op %d allocs/op\n", rep.ExchangeNsPerOp, rep.ExchangeAllocsPerOp)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[pipeline report written to %s]\n", path)
+	return nil
 }
 
 // runMicro runs the tracked microbenchmarks and writes the JSON report.

@@ -18,10 +18,20 @@
 // incomparable; that fails loudly unless -allow-simd-mismatch is given, in
 // which case only the allocation and completeness checks apply.
 //
+// With -pipeline the reports are pipelined-exchange reports (dgs-bench
+// -pipebench, tracked in BENCH_PR4.json) and the gate switches to that
+// report's machine-relative quantities: the pipelined-vs-synchronous
+// speedup is a within-run ratio (both depths measured in the same process
+// against the same simulated RTT), so it must clear an absolute floor
+// (-min-pipeline-speedup, default 1.3×) on any machine, and the TCP
+// exchange round trip must stay allocation-free.
+//
 // Usage:
 //
 //	dgs-bench -microbench -benchtime 100ms -json current.json
 //	dgs-benchdiff -baseline BENCH_PR2.json -current current.json
+//	dgs-bench -pipebench -json pipe.json
+//	dgs-benchdiff -pipeline -baseline BENCH_PR4.json -current pipe.json
 package main
 
 import (
@@ -95,6 +105,41 @@ func diff(baseline, current *bench.Report, r rules) []string {
 	return problems
 }
 
+// diffPipeline gates the pipelined-exchange report. The speedup floor is
+// absolute: the measurement is a within-run ratio, so "pipelining hides at
+// least 30% of a round trip comparable to the serial step" is a portable
+// claim. The baseline is consulted only for sanity (it must itself satisfy
+// the gate, so a stale committed baseline fails loudly here, not in review).
+func diffPipeline(baseline, current *bench.PipelineReport, minSpeedup float64) []string {
+	var problems []string
+	check := func(rep *bench.PipelineReport, name string) {
+		if rep.Speedup < minSpeedup {
+			problems = append(problems, fmt.Sprintf(
+				"%s: pipelined speedup %.2fx below floor %.2fx (sync %.1f steps/s, pipelined %.1f steps/s at depth %d, rtt %.2f ms)",
+				name, rep.Speedup, minSpeedup, rep.StepsPerSecSync, rep.StepsPerSecPipelined, rep.PipelineDepth, rep.RTTMillis))
+		}
+		if rep.ExchangeAllocsPerOp != 0 {
+			problems = append(problems, fmt.Sprintf(
+				"%s: tcp exchange %d allocs/op (steady state must be allocation-free)", name, rep.ExchangeAllocsPerOp))
+		}
+	}
+	check(baseline, "baseline")
+	check(current, "current")
+	return problems
+}
+
+func loadPipeline(path string) (*bench.PipelineReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.PipelineReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
 func load(path string) (*bench.Report, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -113,11 +158,29 @@ func main() {
 		currentPath  = flag.String("current", "", "freshly measured report (required)")
 		maxSlowdown  = flag.Float64("max-slowdown", 0.25, "tolerated fractional kernel speedup loss")
 		allowSIMD    = flag.Bool("allow-simd-mismatch", false, "skip speedup checks when SIMD kernels differ")
+		pipeline     = flag.Bool("pipeline", false, "diff pipelined-exchange reports (dgs-bench -pipebench) instead of microbench reports")
+		minPipeline  = flag.Float64("min-pipeline-speedup", 1.3, "pipelined-vs-sync steps/sec floor (with -pipeline)")
 	)
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "dgs-benchdiff: -current is required")
 		os.Exit(2)
+	}
+	if *pipeline {
+		baseline, err := loadPipeline(*baselinePath)
+		fatalIf(err)
+		current, err := loadPipeline(*currentPath)
+		fatalIf(err)
+		problems := diffPipeline(baseline, current, *minPipeline)
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "dgs-benchdiff: FAIL:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("dgs-benchdiff: OK (pipelined %.2fx vs sync, floor %.2fx; exchange 0 allocs/op)\n",
+			current.Speedup, *minPipeline)
+		return
 	}
 	baseline, err := load(*baselinePath)
 	fatalIf(err)

@@ -64,7 +64,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dgs-server:", err)
 		os.Exit(1)
 	}
-	srv.ExchangeTimeout = *timeout
+	srv.SetExchangeTimeout(*timeout)
 	defer srv.Close()
 	fmt.Printf("dgs-server: listening on %s (%d params, %d workers, secondary=%v)\n",
 		srv.Addr(), model.NumParams(), *workers, *secondary)

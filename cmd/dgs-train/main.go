@@ -80,6 +80,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		scale     = flag.Float64("datascale", 1, "dataset size multiplier")
 		tcp       = flag.String("tcp", "", "run exchanges over TCP at this address (e.g. 127.0.0.1:0)")
+		pipeline  = flag.Int("pipeline", 1, "in-flight exchanges per worker (1 = synchronous, >1 overlaps comm with compute)")
 		csv       = flag.String("csv", "", "write loss/accuracy curves to this CSV file")
 		metrics   = flag.String("metrics", "", "serve /metrics and /debug/pprof at this address (e.g. 127.0.0.1:9090)")
 		manifest  = flag.String("manifest", "", "periodically write the JSON run manifest to this file")
@@ -101,7 +102,8 @@ func main() {
 		GradClip: float32(*clip), WeightDecay: float32(*wd),
 		WarmupFrac: *warmup, Ternary: *ternary, Shards: *shards,
 		Seed: *seed, DataScale: *scale,
-		TCPAddr: *tcp, MetricsAddr: *metrics, ManifestPath: *manifest,
+		TCPAddr: *tcp, PipelineDepth: *pipeline,
+		MetricsAddr: *metrics, ManifestPath: *manifest,
 	})
 	fatalIf(err)
 

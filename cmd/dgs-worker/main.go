@@ -49,6 +49,8 @@ func main() {
 		keep     = flag.Float64("keep", 0.01, "Top-k keep ratio")
 		seed     = flag.Uint64("seed", 1, "seed (must match other workers for identical θ0)")
 
+		pipeline = flag.Int("pipeline", 1, "in-flight exchanges (1 = synchronous, >1 overlaps comm with compute)")
+
 		retries    = flag.Int("retries", 8, "reconnect retries per exchange")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-exchange deadline (0 disables)")
 		rejoins    = flag.Int("rejoins", 0, "crash-recovery budget: restart the loop as a fresh incarnation this many times")
@@ -86,17 +88,40 @@ func main() {
 		LR: float32(*lr), LRDecayAt: []int{*epochs * 6 / 10, *epochs * 8 / 10},
 		Momentum: float32(*momentum), KeepRatio: *keep,
 		Seed: *seed, Dataset: ds,
-		BuildModel: func(rng *tensor.RNG) *nn.Model { return nn.NewResNetS(rng, mcfg) },
-		EvalLimit:  512,
+		BuildModel:    func(rng *tensor.RNG) *nn.Model { return nn.NewResNetS(rng, mcfg) },
+		EvalLimit:     512,
+		PipelineDepth: *pipeline,
 	}
+
+	injectFaults := *faultDrop > 0 || *faultTorn > 0 || *faultDup > 0 || *faultReset > 0 || *faultDelay > 0
 
 	// Transport stack, top to bottom: SessionClient (exactly-once envelope)
 	// → Reconnecting (redial + re-send the same frame) → optional Faulty
 	// (seeded chaos) → TCPClient with a per-exchange deadline. A fresh stack
 	// per attempt is a fresh worker incarnation: its hello makes the server
 	// resync this id and ship a dense snapshot.
+	//
+	// With -pipeline > 1 and no fault injection, the stack is replaced by the
+	// native PipelinedSession: the same exactly-once envelope plus redial and
+	// replay, but multiplexing up to depth in-flight exchanges over one
+	// connection (wire v2 request-id framing). Under fault injection the
+	// synchronous stack stays — the trainer drives it through a comms
+	// goroutine so the chaos decorators keep their one-frame-at-a-time
+	// semantics.
 	var dials uint64
 	dialStack := func() (transport.Transport, error) {
+		if *pipeline > 1 && !injectFaults {
+			ps := transport.NewPipelinedSession(func() (transport.MuxLink, error) {
+				c, err := transport.DialMux(*addr)
+				if err != nil {
+					return nil, err
+				}
+				c.ExchangeTimeout = *timeout
+				return c, nil
+			}, *pipeline)
+			ps.MaxRetries = *retries
+			return ps, nil
+		}
 		rc := transport.NewReconnecting(func() (transport.Transport, error) {
 			c, err := transport.DialTCP(*addr)
 			if err != nil {
@@ -104,7 +129,7 @@ func main() {
 			}
 			c.ExchangeTimeout = *timeout
 			dials++
-			if *faultDrop > 0 || *faultTorn > 0 || *faultDup > 0 || *faultReset > 0 || *faultDelay > 0 {
+			if injectFaults {
 				return transport.NewFaulty(c, transport.FaultConfig{
 					Seed:           *faultSeed + dials,
 					DropBeforeSend: *faultDrop,

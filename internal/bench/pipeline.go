@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"dgs/internal/data"
+	"dgs/internal/nn"
+	"dgs/internal/ps"
+	"dgs/internal/tensor"
+	"dgs/internal/trainer"
+	"dgs/internal/transport"
+)
+
+// PipelineReport is the end-to-end pipelined-exchange benchmark serialised
+// to BENCH_PR4.json: one worker trains over real TCP with a simulated
+// round-trip time, synchronously (depth 1) and pipelined (depth 2), in the
+// same process and run. The speedup is a within-run ratio — both
+// measurements see the same machine, kernels, and RTT — so it is comparable
+// across hosts the way the kernel speedups in Report are.
+type PipelineReport struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	SIMDKernel bool   `json:"simd_kernel"`
+
+	// RTTMillis is the simulated network round-trip time, chosen as
+	// max(1.5 ms, measured serial step time) so the pipelined loop has a
+	// full serial phase to hide each round trip behind (capped at 20 ms to
+	// bound wall time on slow hosts). SerialStepMillis is that measured
+	// loopback step time (forward/backward + prepare + codec + push +
+	// apply).
+	RTTMillis        float64 `json:"rtt_millis"`
+	SerialStepMillis float64 `json:"serial_step_millis"`
+	Steps            int     `json:"steps_per_run"`
+
+	PipelineDepth        int     `json:"pipeline_depth"`
+	StepsPerSecSync      float64 `json:"steps_per_sec_sync"`
+	StepsPerSecPipelined float64 `json:"steps_per_sec_pipelined"`
+	// Speedup is StepsPerSecPipelined / StepsPerSecSync, the number the
+	// regression gate floors at 1.3×.
+	Speedup float64 `json:"speedup_pipelined_vs_sync"`
+
+	// ExchangeNsPerOp / ExchangeAllocsPerOp measure one TCPClient round trip
+	// against an echo server over a real socket. The steady-state exchange
+	// path (client grow-once response buffer, single-writev request, server
+	// grow-once request buffer) must stay allocation-free.
+	ExchangeNsPerOp     float64 `json:"exchange_ns_per_op"`
+	ExchangeAllocsPerOp int64   `json:"exchange_allocs_per_op"`
+}
+
+// pipelineBenchConfig is the measured workload: an MLP on a Gaussian
+// mixture, sized so one step's forward/backward lands in the low
+// milliseconds on current hardware — comparable to the simulated RTT, which
+// is where overlapping the two pays (the paper's regime: communication and
+// computation of the same order).
+func pipelineBenchConfig(steps int) trainer.Config {
+	const (
+		batch   = 64
+		train   = 2048
+		workers = 2
+	)
+	// The measured worker runs share = Epochs*train/batch/workers steps.
+	epochs := (steps*workers*batch + train - 1) / train
+	ds := data.NewGaussianMixture(64, 16, train, 64, 0.35, 11)
+	return trainer.Config{
+		Method:    trainer.DGS,
+		Workers:   workers,
+		BatchSize: batch,
+		Epochs:    epochs,
+		LR:        0.05,
+		LRDecayAt: []int{epochs},
+		Momentum:  0.7,
+		KeepRatio: 0.05,
+		Seed:      1,
+		Dataset:   ds,
+		BuildModel: func(rng *tensor.RNG) *nn.Model {
+			return nn.NewMLP(rng, 64, 512, 512, 16)
+		},
+		EvalLimit: 64,
+		// The measured worker is id 1, which never evaluates; keep periodic
+		// eval out of the way regardless.
+		EvalEveryEpochs: 1 << 20,
+	}
+}
+
+// measureStep runs a short loopback warm-up at depth 1 and returns the mean
+// wall-clock time of one full serial step — forward/backward plus Top-k
+// prepare, codec, server push, and apply. That whole serial phase is what a
+// round trip hides behind in the pipelined loop, so it (not just
+// forward/backward) is the right yardstick for the simulated RTT.
+func measureStep(steps int) (time.Duration, error) {
+	cfg := pipelineBenchConfig(steps)
+	proto := cfg.BuildModel(tensor.NewRNG(cfg.Seed))
+	server := ps.NewServer(ps.Config{LayerSizes: proto.LayerSizes(), Workers: cfg.Workers, Quiet: true})
+	lb := transport.NewLoopback(trainer.Handler(server))
+	t0 := time.Now()
+	res, err := trainer.RunWorkerLoop(cfg, 1, lb)
+	if err != nil {
+		return 0, fmt.Errorf("bench: step calibration: %w", err)
+	}
+	return time.Since(t0) / time.Duration(maxInt(res.Iterations, 1)), nil
+}
+
+// runPipelinedDepth trains one worker over real TCP through a
+// PipelinedSession whose link adds a fixed simulated RTT, and returns the
+// measured steps/sec. depth 1 exercises the synchronous loop (Exchange =
+// Submit+Await back to back), depth ≥ 2 the pipelined loop.
+func runPipelinedDepth(steps, depth int, rtt time.Duration) (float64, error) {
+	cfg := pipelineBenchConfig(steps)
+	cfg.PipelineDepth = depth
+	proto := cfg.BuildModel(tensor.NewRNG(cfg.Seed))
+	server := ps.NewServer(ps.Config{LayerSizes: proto.LayerSizes(), Workers: cfg.Workers, Quiet: true})
+	eo := trainer.ExactlyOnceHandler(server)
+	srv, err := transport.ListenTCP("127.0.0.1:0", eo.Handle)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+
+	ses := transport.NewPipelinedSession(func() (transport.MuxLink, error) {
+		c, err := transport.DialMux(srv.Addr())
+		if err != nil {
+			return nil, err
+		}
+		return &transport.DelayedLink{Link: c, RTT: rtt}, nil
+	}, depth)
+	defer ses.Close()
+
+	t0 := time.Now()
+	res, err := trainer.RunWorkerLoop(cfg, 1, ses)
+	if err != nil {
+		return 0, fmt.Errorf("bench: depth-%d run: %w", depth, err)
+	}
+	return float64(res.Iterations) / time.Since(t0).Seconds(), nil
+}
+
+// benchExchange measures one TCPClient round trip against an in-process
+// echo server over a real TCP socket: the steady-state path must be
+// allocation-free on both ends (client grow-once response buffer plus
+// single-writev request; server grow-once request buffer).
+func benchExchange() (nsPerOp float64, allocsPerOp int64, err error) {
+	srv, err := transport.ListenTCP("127.0.0.1:0", func(worker int, payload []byte) ([]byte, error) {
+		return payload, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer srv.Close()
+	cli, err := transport.DialTCP(srv.Addr())
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cli.Close()
+
+	payload := make([]byte, 16<<10)
+	if _, err := cli.Exchange(0, payload); err != nil { // warm the grow-once buffers
+		return 0, 0, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Exchange(0, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return float64(r.T.Nanoseconds()) / float64(r.N), r.AllocsPerOp(), nil
+}
+
+// RunPipeline executes the pipelined-exchange benchmark. steps is the
+// measured worker's iteration budget per run (0 = the 240-step default);
+// rttOverride, when positive, replaces the auto-calibrated RTT.
+func RunPipeline(steps int, rttOverride time.Duration) (*PipelineReport, error) {
+	testing.Init()
+	if steps <= 0 {
+		steps = 240
+	}
+	const depth = 2
+
+	rep := &PipelineReport{
+		GoVersion:     runtime.Version(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		SIMDKernel:    tensor.SIMDKernelEnabled(),
+		Steps:         steps,
+		PipelineDepth: depth,
+	}
+
+	step, err := measureStep(minInt(steps, 64))
+	if err != nil {
+		return nil, err
+	}
+	rep.SerialStepMillis = float64(step) / float64(time.Millisecond)
+
+	rtt := rttOverride
+	if rtt <= 0 {
+		// Overlap pays most when communication ≈ computation, so match the
+		// RTT to the measured serial step; floor it at 1.5 ms so the bench
+		// always simulates a real network (the acceptance criterion's
+		// ≥1 ms), cap it so slow hosts finish.
+		rtt = step
+		if rtt < 1500*time.Microsecond {
+			rtt = 1500 * time.Microsecond
+		}
+		if rtt > 20*time.Millisecond {
+			rtt = 20 * time.Millisecond
+		}
+	}
+	rep.RTTMillis = float64(rtt) / float64(time.Millisecond)
+
+	if rep.StepsPerSecSync, err = runPipelinedDepth(steps, 1, rtt); err != nil {
+		return nil, err
+	}
+	if rep.StepsPerSecPipelined, err = runPipelinedDepth(steps, depth, rtt); err != nil {
+		return nil, err
+	}
+	if rep.StepsPerSecSync > 0 {
+		rep.Speedup = rep.StepsPerSecPipelined / rep.StepsPerSecSync
+	}
+
+	if rep.ExchangeNsPerOp, rep.ExchangeAllocsPerOp, err = benchExchange(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

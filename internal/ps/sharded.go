@@ -2,6 +2,8 @@ package ps
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"dgs/internal/sparse"
 )
@@ -33,6 +35,26 @@ type ShardedServer struct {
 	// transport serialises, so plain stores suffice.
 	prevClock []uint64
 	met       *metrics
+
+	// jobs feeds the persistent shard-apply pool: Push fans the per-shard
+	// pieces out to these goroutines and fans the downward chunks back in
+	// from per-worker slots, so concurrent worker pushes overlap across
+	// shard locks instead of walking the shards serially. The pool
+	// goroutines hold only this channel; a finalizer closes it when the
+	// server becomes unreachable, letting them exit.
+	jobs chan shardJob
+}
+
+// shardJob is one shard's share of a worker push. The pointers target
+// per-worker scratch slots, so concurrent jobs never share a destination
+// and the job struct itself crosses the channel without allocating.
+type shardJob struct {
+	shard  *Server
+	worker int
+	in     *sparse.Update
+	outG   *sparse.Update
+	outTS  *uint64
+	wg     *sync.WaitGroup
 }
 
 // shardSplit is per-worker scratch for splitting an upward update across
@@ -40,6 +62,11 @@ type ShardedServer struct {
 type shardSplit struct {
 	perShard []sparse.Update
 	out      sparse.Update
+	// shardG/shardTS receive each shard's downward piece and timestamp
+	// during the parallel fan-out; wg gates the fan-in.
+	shardG  []sparse.Update
+	shardTS []uint64
+	wg      sync.WaitGroup
 }
 
 // NewShardedServer builds numShards shards over the given layers, assigning
@@ -94,12 +121,38 @@ func NewShardedServer(cfg Config, numShards int) *ShardedServer {
 	s.split = make([]shardSplit, cfg.Workers)
 	for k := range s.split {
 		s.split[k].perShard = make([]sparse.Update, numShards)
+		s.split[k].shardG = make([]sparse.Update, numShards)
+		s.split[k].shardTS = make([]uint64, numShards)
 	}
 	s.prevClock = make([]uint64, cfg.Workers)
 	if !cfg.Quiet {
 		s.met = newMetrics(cfg.LayerSizes, cfg.Workers)
 	}
+	if numShards > 1 {
+		pool := runtime.GOMAXPROCS(0)
+		if pool > numShards {
+			pool = numShards
+		}
+		s.jobs = make(chan shardJob, numShards*cfg.Workers)
+		for i := 0; i < pool; i++ {
+			go shardApplyLoop(s.jobs)
+		}
+		// The pool goroutines reference only the channel, so the server can
+		// still be collected; closing the channel then releases them.
+		runtime.SetFinalizer(s, func(srv *ShardedServer) { close(srv.jobs) })
+	}
 	return s
+}
+
+// shardApplyLoop is one pool goroutine: it applies shard pushes and writes
+// the results into the job's per-worker slots.
+func shardApplyLoop(jobs <-chan shardJob) {
+	for job := range jobs {
+		G, ts := job.shard.Push(job.worker, job.in)
+		*job.outG = G
+		*job.outTS = ts
+		job.wg.Done()
+	}
 }
 
 // NumShards returns the shard count.
@@ -130,15 +183,41 @@ func (s *ShardedServer) Push(worker int, g *sparse.Update) (sparse.Update, uint6
 		sp.perShard[sh].Chunks = append(sp.perShard[sh].Chunks, local)
 	}
 
+	// Apply the shard pieces — in parallel through the pool when there are
+	// several shards (each shard has its own lock, and this worker's result
+	// slots are private, so the only coordination is the WaitGroup), then
+	// merge the downward chunks back in shard order so the fan-in is
+	// deterministic regardless of completion order.
 	sp.out.Chunks = sp.out.Chunks[:0]
 	var clock uint64
-	for sh, shard := range s.shards {
-		G, ts := shard.Push(worker, &sp.perShard[sh])
-		clock += ts
-		for i := range G.Chunks {
-			c := G.Chunks[i]
-			c.Layer = s.globalOf[sh][c.Layer]
-			sp.out.Chunks = append(sp.out.Chunks, c)
+	if s.jobs != nil {
+		sp.wg.Add(len(s.shards))
+		for sh := range s.shards {
+			s.jobs <- shardJob{
+				shard: s.shards[sh], worker: worker,
+				in: &sp.perShard[sh], outG: &sp.shardG[sh], outTS: &sp.shardTS[sh],
+				wg: &sp.wg,
+			}
+		}
+		sp.wg.Wait()
+		for sh := range s.shards {
+			clock += sp.shardTS[sh]
+			G := &sp.shardG[sh]
+			for i := range G.Chunks {
+				c := G.Chunks[i]
+				c.Layer = s.globalOf[sh][c.Layer]
+				sp.out.Chunks = append(sp.out.Chunks, c)
+			}
+		}
+	} else {
+		for sh, shard := range s.shards {
+			G, ts := shard.Push(worker, &sp.perShard[sh])
+			clock += ts
+			for i := range G.Chunks {
+				c := G.Chunks[i]
+				c.Layer = s.globalOf[sh][c.Layer]
+				sp.out.Chunks = append(sp.out.Chunks, c)
+			}
 		}
 	}
 	if s.met != nil {

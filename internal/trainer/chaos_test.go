@@ -120,7 +120,7 @@ func TestChaosTrainingSurvivesFaultsExactlyOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.ExchangeTimeout = 20 * time.Second
+	srv.SetExchangeTimeout(20 * time.Second)
 	defer srv.Close()
 
 	var seedBase atomic.Uint64
@@ -179,6 +179,88 @@ func TestChaosTrainingSurvivesFaultsExactlyOnce(t *testing.T) {
 	// (Eq. 5; without secondary compression nothing may be left implicit).
 	// A lost or double-applied frame anywhere in the run would leave a
 	// worker's v_k permanently out of step with what it was actually sent.
+	m := snapshotBuffer(sizes)
+	v := snapshotBuffer(sizes)
+	for k := 0; k < 4; k++ {
+		drainWorker(t, srv.Addr(), k)
+	}
+	server.MSnapshot(m)
+	for k := 0; k < 4; k++ {
+		server.VSnapshot(k, v)
+		for layer := range m {
+			for j := range m[layer] {
+				if v[layer][j] != m[layer][j] {
+					t.Fatalf("worker %d: v[%d][%d]=%v != M=%v — exchange state diverged", k, layer, j, v[layer][j], m[layer][j])
+				}
+			}
+		}
+	}
+}
+
+// The same chaos harness at PipelineDepth 2: each worker's SessionClient
+// stack is driven through a QueuedPipeliner, so faults now land while a
+// second exchange is queued behind the one that failed. The exactly-once
+// guarantees and the Eq. 5 invariant must hold unchanged, and training must
+// still converge.
+func TestChaosTrainingSurvivesFaultsPipelined(t *testing.T) {
+	cfg := quickConfig(DGS, 4)
+	cfg.PipelineDepth = 2
+	proto := cfg.BuildModel(tensor.NewRNG(cfg.Seed))
+	sizes := proto.LayerSizes()
+	server := ps.NewServer(ps.Config{LayerSizes: sizes, Workers: 4})
+	eo := ExactlyOnceHandler(server)
+	srv, err := transport.ListenTCP("127.0.0.1:0", eo.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetExchangeTimeout(20 * time.Second)
+	defer srv.Close()
+
+	var seedBase atomic.Uint64
+	var wg sync.WaitGroup
+	results := make([]*Result, 4)
+	errs := make([]error, 4)
+	for id := 0; id < 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if id == 3 {
+				// Worker 3 crashes with exchanges in flight and rejoins.
+				attempt := 0
+				dial := func() (transport.Transport, error) {
+					attempt++
+					if attempt == 1 {
+						return chaosDialer(srv.Addr(), &seedBase, 40)()
+					}
+					return chaosDialer(srv.Addr(), &seedBase, -1)()
+				}
+				results[id], errs[id] = RunResilientWorkerLoop(cfg, id, dial, 3)
+				return
+			}
+			results[id], errs[id] = RunResilientWorkerLoop(cfg, id, chaosDialer(srv.Addr(), &seedBase, -1), 3)
+		}(id)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", id, err)
+		}
+	}
+
+	if acc := results[0].FinalAccuracy; acc < 0.6 {
+		t.Fatalf("final accuracy %.3f under chaos at depth 2; training diverged", acc)
+	}
+	ss := eo.Stats()
+	if ss.Replays == 0 {
+		t.Fatal("no replays recorded — the fault schedule never exercised the replay cache")
+	}
+	if ss.Hellos < 5 {
+		t.Fatalf("%d hellos; want ≥5 (4 workers + ≥1 rejoin)", ss.Hellos)
+	}
+	if st := server.Stats(); st.Resyncs != ss.Hellos {
+		t.Fatalf("resyncs %d != incarnations %d", st.Resyncs, ss.Hellos)
+	}
+
 	m := snapshotBuffer(sizes)
 	v := snapshotBuffer(sizes)
 	for k := 0; k < 4; k++ {

@@ -16,6 +16,25 @@ var trmet = struct {
 	downBytes   *telemetry.Counter
 }{}
 
+// pipeMet instruments the pipelined exchange path. commSeconds shares its
+// identity with the transport package (both Pipeliner implementations add
+// each exchange's in-flight wall time there); blockedSeconds is the part of
+// that time the worker actually spent stalled in Submit/Await, so
+//
+//	overlap_efficiency = (comm − blocked) / comm
+//
+// is the fraction of communication hidden behind compute — the gauge the
+// tentpole exists to move from ~0 (synchronous) toward 1.
+var pipeMet = struct {
+	inflight       *telemetry.Gauge
+	blockedSeconds *telemetry.Gauge
+	commSeconds    *telemetry.Gauge
+	stageEncode    *telemetry.Histogram
+	stageSubmit    *telemetry.Histogram
+	stageAwait     *telemetry.Histogram
+	stageApply     *telemetry.Histogram
+}{}
+
 func init() {
 	reg := telemetry.Default()
 	trmet.steps = reg.Counter("dgs_trainer_steps_total",
@@ -26,6 +45,38 @@ func init() {
 		"Encoded bytes received from workers (sparse upward updates).")
 	trmet.downBytes = reg.Counter("dgs_exchange_down_bytes_total",
 		"Encoded bytes shipped to workers (model differences).")
+
+	pipeMet.inflight = reg.Gauge("dgs_pipeline_inflight",
+		"Exchanges currently in flight on the pipelined path (last observed depth).")
+	pipeMet.blockedSeconds = reg.Gauge("dgs_pipeline_blocked_seconds_total",
+		"Cumulative seconds workers spent stalled waiting on pipelined exchanges.")
+	pipeMet.commSeconds = reg.Gauge("dgs_pipeline_comm_seconds_total",
+		"Cumulative seconds exchanges spent in flight on the pipelined path.")
+	stage := func(name string) *telemetry.Histogram {
+		return reg.Histogram("dgs_pipeline_stage_seconds",
+			"Latency of one pipelined-exchange stage, by stage.",
+			telemetry.DurationBuckets(), "stage", name)
+	}
+	pipeMet.stageEncode = stage("encode")
+	pipeMet.stageSubmit = stage("submit")
+	pipeMet.stageAwait = stage("await")
+	pipeMet.stageApply = stage("apply")
+	reg.GaugeFunc("dgs_pipeline_overlap_efficiency",
+		"Fraction of pipelined communication time hidden behind compute.",
+		func() float64 {
+			comm := pipeMet.commSeconds.Value()
+			if comm <= 0 {
+				return 0
+			}
+			eff := (comm - pipeMet.blockedSeconds.Value()) / comm
+			if eff < 0 {
+				return 0
+			}
+			if eff > 1 {
+				return 1
+			}
+			return eff
+		})
 }
 
 // handlerMetrics instruments one server-side Handler: wire bytes in both

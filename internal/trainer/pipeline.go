@@ -1,0 +1,166 @@
+package trainer
+
+import (
+	"fmt"
+	"time"
+
+	"dgs/internal/data"
+	"dgs/internal/nn"
+	"dgs/internal/optim"
+	"dgs/internal/quant"
+	"dgs/internal/sparse"
+	"dgs/internal/tensor"
+	"dgs/internal/transport"
+)
+
+// runPipelined is the worker loop with up to depth exchanges in flight:
+// step t's Top-k encode → round trip → downward decode overlaps step
+// t+1's forward/backward. Responses are awaited strictly in submit order
+// and applied at the next batch boundary, so the replica is always the
+// server state as of some recent exchange — bounded-delay ASGD with at
+// most depth−1 steps of client-side delay folded into the staleness the
+// server already accounts for (the in-flight pushes advance its clock
+// before this worker applies their responses).
+//
+// SAMomentum/residual correctness across in-flight boundaries: Prepare runs
+// serially in this goroutine and performs the unsent-coordinate rescale
+// (Eq. 14–16) before the payload is handed to the transport, and the
+// payload is immediately encoded into a private ring slot — the optimizer
+// state is never referenced after handoff.
+func (w *worker) runPipelined(depth int) (*nn.Model, error) {
+	cfg := w.cfg
+	model := cfg.BuildModel(tensor.NewRNG(cfg.Seed))
+	opt := buildOptimizer(cfg, w.sizes)
+	if w.id == 0 {
+		w.res.WorkerStateBytes = opt.StateBytes()
+	}
+	loader := data.NewLoader(cfg.Dataset, cfg.BatchSize, cfg.Seed+uint64(1000+w.id), true)
+	qrng := tensor.NewRNG(cfg.Seed + uint64(7000+w.id))
+
+	// Use the transport's native pipelining when it has one (the
+	// PipelinedSession mux client); otherwise drive the synchronous stack
+	// (loopback, chaos stacks, plain TCP) through a comms goroutine.
+	pipe, native := w.tr.(transport.Pipeliner)
+	if !native {
+		qp := transport.NewQueuedPipeliner(w.tr, depth)
+		defer qp.Stop()
+		pipe = qp
+	}
+
+	// A submitted payload is owned by the transport until its Await
+	// resolves (the pipelined session retains the bytes for
+	// replay-on-reconnect), so each in-flight exchange needs its own
+	// grow-once encode buffer.
+	encBufs := make([][]byte, depth+1)
+	encSlot := 0
+
+	nextEval := float64(cfg.EvalEveryEpochs)
+	params := model.Params()
+
+	// awaitApply resolves the oldest in-flight exchange and applies its
+	// downward model difference to the replica.
+	awaitApply := func() error {
+		a0 := time.Now()
+		respBytes, err := pipe.Await()
+		blocked := time.Since(a0)
+		pipeMet.blockedSeconds.Add(blocked.Seconds())
+		pipeMet.stageAwait.Observe(blocked.Seconds())
+		pipeMet.inflight.Set(float64(pipe.InFlight()))
+		if err != nil {
+			return fmt.Errorf("trainer: worker %d exchange: %w", w.id, err)
+		}
+		if err := sparse.DecodeInto(&w.down, respBytes); err != nil {
+			return fmt.Errorf("trainer: worker %d decode response: %w", w.id, err)
+		}
+		p0 := time.Now()
+		for ci := range w.down.Chunks {
+			c := &w.down.Chunks[ci]
+			sparse.Scatter(c, params[c.Layer].Value.Data, 1)
+		}
+		pipeMet.stageApply.Observe(time.Since(p0).Seconds())
+		return nil
+	}
+
+	for {
+		iter := w.iterCounter.Add(1) - 1
+		if iter >= int64(w.totalIters) {
+			// Drain: every in-flight response must land on the replica
+			// before it is returned for evaluation (and before the final
+			// syncModel reuses the transport synchronously).
+			for pipe.InFlight() > 0 {
+				if err := awaitApply(); err != nil {
+					return model, err
+				}
+			}
+			return model, nil
+		}
+		batch := loader.Next()
+
+		iterStart := time.Now()
+		t0 := iterStart
+		model.ZeroGrad()
+		logits := model.Forward(batch.X, true)
+		loss, g := nn.SoftmaxCrossEntropy(logits, batch.Labels)
+		model.Backward(g)
+		w.computeNanos.Add(time.Since(t0).Nanoseconds())
+
+		grads := model.Gradients()
+		if cfg.WeightDecay > 0 {
+			for i, g := range grads {
+				tensor.Axpy(cfg.WeightDecay, params[i].Value.Data, g)
+			}
+		}
+		if cfg.GradClip > 0 {
+			clipGlobalNorm(grads, cfg.GradClip)
+		}
+		stepLR := w.lr(iter)
+		if cfg.WarmupFrac > 0 {
+			progress := float64(iter) / float64(w.totalIters)
+			stepLR *= float32(optim.LRWarmup(progress, cfg.WarmupFrac))
+			if rs, ok := opt.(optim.RatioSetter); ok {
+				rs.SetKeepRatio(optim.SparsityWarmup(progress, cfg.WarmupFrac, cfg.WarmupKeepStart, cfg.KeepRatio))
+			}
+		}
+		upd := opt.Prepare(grads, stepLR)
+		if cfg.Ternary {
+			upd = quant.TernarizeUpdate(&upd, qrng)
+		}
+		e0 := time.Now()
+		payload := sparse.AppendEncode(encBufs[encSlot][:0], &upd)
+		encBufs[encSlot] = payload
+		encSlot = (encSlot + 1) % len(encBufs)
+		pipeMet.stageEncode.Observe(time.Since(e0).Seconds())
+
+		s0 := time.Now()
+		if err := pipe.Submit(w.id, payload); err != nil {
+			return model, fmt.Errorf("trainer: worker %d submit: %w", w.id, err)
+		}
+		pipeMet.stageSubmit.Observe(time.Since(s0).Seconds())
+		pipeMet.inflight.Set(float64(pipe.InFlight()))
+
+		// The window is full once depth exchanges are in flight: resolve
+		// the oldest (submitted before this step's compute began, so its
+		// round trip has been hiding behind it) and apply its difference
+		// at this batch boundary.
+		if pipe.InFlight() >= depth {
+			if err := awaitApply(); err != nil {
+				return model, err
+			}
+		}
+		observeStep(iterStart)
+
+		epoch := float64(iter+1) * float64(cfg.BatchSize) / w.samplesPerEpoch
+		w.res.Loss.Add(epoch, loss)
+
+		// Worker 0 owns periodic evaluation, exactly as in the synchronous
+		// loop; its replica simply lags the server by the in-flight
+		// responses (bounded by depth−1 steps).
+		if w.id == 0 && epoch >= nextEval {
+			acc := evaluate(cfg, model)
+			w.res.Accuracy.Add(epoch, acc)
+			for epoch >= nextEval {
+				nextEval += float64(cfg.EvalEveryEpochs)
+			}
+		}
+	}
+}

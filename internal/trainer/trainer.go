@@ -125,6 +125,13 @@ type Config struct {
 	// and every worker dials its own connection. Empty means in-process
 	// loopback.
 	TCPAddr string
+	// PipelineDepth bounds each worker's in-flight exchanges. 0 or 1 keeps
+	// today's synchronous loop (the exact same code path, so baselines and
+	// the paper figures are bit-identical); D > 1 overlaps up to D
+	// exchanges with compute, applying each downward difference at the
+	// next batch boundary — bounded-delay ASGD with at most D−1 extra
+	// steps of client-side delay (see DESIGN.md §10).
+	PipelineDepth int
 	// Shards, when > 1, partitions the parameter server into that many
 	// independently-locked shards (Li et al.'s PS scaling architecture).
 	Shards int
@@ -193,6 +200,15 @@ func (c *Config) normalise() error {
 	}
 	if c.WarmupFrac < 0 || c.WarmupFrac > 1 {
 		return fmt.Errorf("trainer: warmup fraction %v out of [0,1]", c.WarmupFrac)
+	}
+	if c.PipelineDepth < 0 {
+		return fmt.Errorf("trainer: pipeline depth %d < 0", c.PipelineDepth)
+	}
+	if c.PipelineDepth > transport.DefaultReplayWindow {
+		// The server's replay window must cover every in-flight frame a
+		// reconnecting pipelined client replays.
+		return fmt.Errorf("trainer: pipeline depth %d exceeds the replay window %d",
+			c.PipelineDepth, transport.DefaultReplayWindow)
 	}
 	switch c.Method {
 	case GDAsync, DGCAsync, DGS:
@@ -518,7 +534,14 @@ type worker struct {
 
 // run is the worker training loop. It returns its model replica so the
 // coordinator can evaluate the final state.
+//
+// PipelineDepth > 1 dispatches to the pipelined loop in pipeline.go; depth
+// 0/1 runs the loop below — deliberately the untouched synchronous path,
+// so default runs reproduce pre-pipelining results bit for bit.
 func (w *worker) run() (*nn.Model, error) {
+	if w.cfg.PipelineDepth > 1 {
+		return w.runPipelined(w.cfg.PipelineDepth)
+	}
 	cfg := w.cfg
 	// Identical init across replicas: every worker seeds its model RNG the
 	// same way, so all start from θ0 (the PS tracks only differences).

@@ -1,0 +1,34 @@
+package transport
+
+import "testing"
+
+// BenchmarkTCPExchange measures one client round trip against an echo
+// server over a real socket. The steady-state path must be allocation-free
+// on both ends (grow-once buffers, single-writev request) — the tracked
+// invariant in BENCH_PR4.json.
+func BenchmarkTCPExchange(b *testing.B) {
+	srv, err := ListenTCP("127.0.0.1:0", func(worker int, payload []byte) ([]byte, error) {
+		return payload, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := DialTCP(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+
+	payload := make([]byte, 16<<10)
+	if _, err := cli.Exchange(0, payload); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Exchange(0, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

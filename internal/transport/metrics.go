@@ -25,6 +25,10 @@ var tmet = struct {
 	faultDuplicate  *telemetry.Counter
 	faultReset      *telemetry.Counter
 	faultDelay      *telemetry.Counter
+
+	muxSubmits      *telemetry.Counter
+	pipeReplayed    *telemetry.Counter
+	pipeCommSeconds *telemetry.Gauge
 }{}
 
 func init() {
@@ -64,4 +68,13 @@ func init() {
 	tmet.faultDuplicate = fault("duplicate", help)
 	tmet.faultReset = fault("reset", help)
 	tmet.faultDelay = fault("delay", help)
+
+	tmet.muxSubmits = reg.Counter("dgs_mux_submits_total",
+		"Request frames written by mux (wire-v2) clients.")
+	tmet.pipeReplayed = reg.Counter("dgs_pipeline_replayed_frames_total",
+		"In-flight frames re-sent after a pipelined session reconnect.")
+	// Shared identity with the trainer package, which derives the
+	// overlap-efficiency gauge from this total and its own blocked time.
+	tmet.pipeCommSeconds = reg.Gauge("dgs_pipeline_comm_seconds_total",
+		"Cumulative seconds exchanges spent in flight on the pipelined path.")
 }

@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// plainEcho returns the payload unchanged (echoHandler prepends the worker
+// byte, which gets in the way of string comparisons here).
+func plainEcho(worker int, payload []byte) ([]byte, error) {
+	return payload, nil
+}
+
+// Wire v2 round trip: several requests in flight on one connection, ids
+// echoed back in order.
+func TestMuxMultipleInFlight(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", func(worker int, payload []byte) ([]byte, error) {
+		return []byte(fmt.Sprintf("w%d:%s", worker, payload)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	m, err := DialMux(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	const depth = 5
+	ids := make([]uint64, depth)
+	for i := 0; i < depth; i++ {
+		ids[i], err = m.Submit(2, []byte(fmt.Sprintf("req-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Pending() != depth {
+		t.Fatalf("pending %d, want %d", m.Pending(), depth)
+	}
+	var buf []byte
+	for i := 0; i < depth; i++ {
+		id, resp, err := m.Recv(buf)
+		buf = resp
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != ids[i] {
+			t.Fatalf("response %d carries id %d, want %d (responses must arrive in request order)", i, id, ids[i])
+		}
+		want := fmt.Sprintf("w2:req-%d", i)
+		if string(resp) != want {
+			t.Fatalf("response %d = %q, want %q", i, resp, want)
+		}
+	}
+}
+
+// Both framings coexist on one server: a v1 TCPClient and a v2 MuxConn
+// interleave without confusing each other.
+func TestMuxAndV1Coexist(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", plainEcho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	v1, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	v2, err := DialMux(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+
+	id, err := v2.Submit(1, []byte("mux"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := v1.Exchange(0, []byte("plain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "plain" {
+		t.Fatalf("v1 exchange = %q", resp)
+	}
+	gotID, mresp, err := v2.Recv(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != id || string(mresp) != "mux" {
+		t.Fatalf("v2 recv = id %d %q, want id %d %q", gotID, mresp, id, "mux")
+	}
+}
+
+// Recv grows the caller's buffer once and reuses it afterwards.
+func TestMuxRecvGrowOnceBuffer(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	m, err := DialMux(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	big := bytes.Repeat([]byte("x"), 4096)
+	if _, err := m.Submit(0, big); err != nil {
+		t.Fatal(err)
+	}
+	_, buf, err := m.Recv(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(0, []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	_, buf2, err := m.Recv(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &buf[0] != &buf2[0] {
+		t.Fatal("Recv re-allocated a buffer that was already large enough")
+	}
+}
+
+// A handler failure comes back as *ServerError with the id echoed and the
+// connection intact.
+func TestMuxServerErrorKeepsConnection(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", func(worker int, payload []byte) ([]byte, error) {
+		if string(payload) == "bad" {
+			return nil, errors.New("rejected")
+		}
+		return payload, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	m, err := DialMux(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	badID, err := m.Submit(0, []byte("bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := m.Recv(nil)
+	var srvErr *ServerError
+	if !errors.As(err, &srvErr) {
+		t.Fatalf("err = %v, want *ServerError", err)
+	}
+	if id != badID {
+		t.Fatalf("error response id %d, want %d", id, badID)
+	}
+	if _, err := m.Submit(0, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if _, resp, err := m.Recv(nil); err != nil || string(resp) != "good" {
+		t.Fatalf("post-error exchange = %q, %v", resp, err)
+	}
+}
+
+// Recv with nothing outstanding is a caller bug, not a network fault.
+func TestMuxRecvWithoutSubmitIsMisuse(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	m, err := DialMux(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, _, err := m.Recv(nil); !errors.Is(err, ErrMuxMisuse) {
+		t.Fatalf("err = %v, want ErrMuxMisuse", err)
+	}
+}
+
+// DelayedLink holds responses until the simulated RTT has elapsed.
+func TestDelayedLinkEnforcesRTT(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	m, err := DialMux(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rtt = 30 * time.Millisecond
+	d := &DelayedLink{Link: m, RTT: rtt}
+	defer d.Close()
+
+	start := time.Now()
+	if _, err := d.Submit(0, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Recv(nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < rtt {
+		t.Fatalf("round trip took %v, want at least the simulated rtt %v", elapsed, rtt)
+	}
+}

@@ -1,0 +1,467 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Pipelined exchange path.
+//
+// The synchronous worker loop pays one full network round trip per training
+// step: encode → Exchange (blocks) → decode → next forward pass. A
+// Pipeliner splits Exchange into Submit (enqueue the request, return
+// immediately) and Await (block for the oldest in-flight response), so the
+// worker computes step t+1 while step t's round trip is on the wire. With
+// PipelineDepth D the worker keeps up to D exchanges in flight and applies
+// each downward difference at the next batch boundary — bounded-delay
+// asynchronous SGD with a client-side delay of at most D−1 steps on top of
+// the server-side staleness the PS already accounts for.
+//
+// Two implementations:
+//
+//   - QueuedPipeliner wraps any synchronous Transport (loopback, the
+//     SessionClient/Reconnecting/Faulty chaos stack, a bare TCPClient) with
+//     a comms goroutine: submits queue, exchanges run serially in order off
+//     the caller's critical path. Exactly-once semantics are whatever the
+//     wrapped stack provides; at most one request is on the wire at a time,
+//     so the one round trip per step is hidden behind compute.
+//
+//   - PipelinedSession is the native async client for the multi-process
+//     deployment: session/seq envelope (exactly-once), wire-v2 mux framing
+//     (up to D requests physically in flight on one connection), and
+//     reconnect-with-replay (on a network fault it redials and re-sends
+//     every unresolved window frame verbatim, oldest first; the server's
+//     replay window deduplicates). No goroutines: the kernel socket
+//     buffers carry the overlap.
+type Pipeliner interface {
+	Transport
+	// Submit enqueues one exchange and returns without waiting for the
+	// response. The payload bytes are owned by the transport until the
+	// corresponding Await returns (they may be retained for
+	// replay-on-reconnect); callers keep a ring of at least depth+1 encode
+	// buffers. Submitting more than the configured depth without awaiting
+	// is a caller bug and fails.
+	Submit(worker int, payload []byte) error
+	// Await blocks for the oldest in-flight exchange and returns its
+	// response. The returned slice is valid until the next Await on this
+	// pipeliner. Responses resolve strictly in submit order.
+	Await() ([]byte, error)
+	// InFlight returns the number of submitted, not-yet-awaited exchanges.
+	InFlight() int
+}
+
+// errWindowFull and errWindowEmpty are Submit/Await misuse, not network
+// faults: the trainer bounds in-flight exchanges itself.
+var (
+	errWindowFull  = errors.New("transport: pipeline window full (submit without await)")
+	errWindowEmpty = errors.New("transport: pipeline window empty (await without submit)")
+)
+
+type queuedJob struct {
+	worker  int
+	payload []byte
+}
+
+type queuedResult struct {
+	resp []byte
+	err  error
+}
+
+// QueuedPipeliner implements Pipeliner over any synchronous Transport with
+// one comms goroutine: Submit hands the exchange to the goroutine and
+// returns; the goroutine runs the inner Exchanges strictly in submit order,
+// copies each response into its own slot (the inner transport may reuse its
+// response buffer — TCPClient does), and queues the result for Await.
+//
+// Like the transports it wraps, a QueuedPipeliner serves one worker
+// goroutine. An Await error does not stop the queue: later submits may
+// already have executed server-side; callers abort and rejoin as a fresh
+// incarnation, exactly as with a failed synchronous Exchange.
+type QueuedPipeliner struct {
+	inner   Transport
+	jobs    chan queuedJob
+	results chan queuedResult
+
+	// bufs is the response-slot ring (depth+1 slots, grown once each): a
+	// result handed to Await stays valid until depth+1 further exchanges
+	// complete, which requires at least one more Await first.
+	bufs  [][]byte
+	wslot int // owned by the comms goroutine
+
+	inflight int // owned by the caller goroutine
+	stopped  bool
+}
+
+// NewQueuedPipeliner wraps inner with an in-flight bound of depth. The
+// inner transport's lifetime stays with the caller: Stop terminates the
+// comms goroutine without closing inner, Close does both.
+func NewQueuedPipeliner(inner Transport, depth int) *QueuedPipeliner {
+	if depth < 1 {
+		depth = 1
+	}
+	q := &QueuedPipeliner{
+		inner:   inner,
+		jobs:    make(chan queuedJob, depth),
+		results: make(chan queuedResult, depth),
+		bufs:    make([][]byte, depth+1),
+	}
+	go q.loop()
+	return q
+}
+
+func (q *QueuedPipeliner) loop() {
+	defer close(q.results)
+	for job := range q.jobs {
+		t0 := time.Now()
+		resp, err := q.inner.Exchange(job.worker, job.payload)
+		tmet.pipeCommSeconds.Add(time.Since(t0).Seconds())
+		var out []byte
+		if err == nil {
+			// Copy before the next Exchange reuses the inner response
+			// buffer.
+			out = append(q.bufs[q.wslot][:0], resp...)
+			q.bufs[q.wslot] = out
+			q.wslot = (q.wslot + 1) % len(q.bufs)
+		}
+		q.results <- queuedResult{resp: out, err: err}
+	}
+}
+
+// Submit implements Pipeliner.
+func (q *QueuedPipeliner) Submit(worker int, payload []byte) error {
+	if q.stopped {
+		return errors.New("transport: pipeliner stopped")
+	}
+	if q.inflight == cap(q.jobs) {
+		return errWindowFull
+	}
+	q.jobs <- queuedJob{worker: worker, payload: payload}
+	q.inflight++
+	return nil
+}
+
+// Await implements Pipeliner.
+func (q *QueuedPipeliner) Await() ([]byte, error) {
+	if q.inflight == 0 {
+		return nil, errWindowEmpty
+	}
+	r := <-q.results
+	q.inflight--
+	return r.resp, r.err
+}
+
+// InFlight implements Pipeliner.
+func (q *QueuedPipeliner) InFlight() int { return q.inflight }
+
+// Exchange implements Transport: a synchronous submit+await. The window
+// must be drained first (the trainer drains before its final model sync).
+func (q *QueuedPipeliner) Exchange(worker int, payload []byte) ([]byte, error) {
+	if q.inflight != 0 {
+		return nil, errWindowFull
+	}
+	if err := q.Submit(worker, payload); err != nil {
+		return nil, err
+	}
+	return q.Await()
+}
+
+// Stop terminates the comms goroutine and discards any outstanding
+// results, leaving the inner transport open (its lifetime belongs to the
+// caller). Safe to call more than once.
+func (q *QueuedPipeliner) Stop() {
+	if q.stopped {
+		return
+	}
+	q.stopped = true
+	close(q.jobs)
+	for range q.results {
+		// Drain until the comms goroutine closes the channel.
+	}
+	q.inflight = 0
+}
+
+// Close implements Transport: Stop plus closing the inner transport.
+func (q *QueuedPipeliner) Close() error {
+	q.Stop()
+	return q.inner.Close()
+}
+
+// pipeSlot is one in-flight exchange in a PipelinedSession's window.
+type pipeSlot struct {
+	worker int
+	seq    uint64
+	// frame is the full encoded session envelope, grown once and retained
+	// verbatim until the exchange resolves: replay-on-reconnect re-sends
+	// these exact bytes so the server's replay window can deduplicate.
+	frame []byte
+	// resp is the slot's grow-once response buffer.
+	resp      []byte
+	wireID    uint64
+	submitted bool // written on the current link
+	everSent  bool // written on any link (a later send is a replay)
+	sent      time.Time
+}
+
+// PipelinedSession implements Pipeliner for the multi-process deployment:
+// it fuses the session/seq exactly-once envelope (SessionClient), bounded
+// retry with redial (Reconnecting), and wire-v2 multiplexed framing
+// (MuxConn) into one client that keeps up to Depth exchanges physically in
+// flight on a single connection.
+//
+// Failure handling: any network fault closes the link; the next Await
+// redials (with exponential backoff, bounded by MaxRetries per await) and
+// re-submits every unresolved window frame in order. Frames the server
+// already executed are answered from its replay window without re-running
+// the handler; frames it never saw execute normally — exactly-once either
+// way. A response id that does not match the oldest in-flight request
+// (stream desynchronisation) is treated the same as a network fault.
+// Stale-session and bad-seq rejections are terminal, as with SessionClient.
+//
+// One PipelinedSession is one worker incarnation serving one goroutine.
+type PipelinedSession struct {
+	// Dial establishes a fresh mux link (normally DialMux, optionally
+	// wrapped in DelayedLink for benchmarks).
+	Dial func() (MuxLink, error)
+	// Depth is the maximum number of in-flight exchanges (minimum 1).
+	Depth int
+	// MaxRetries bounds redial attempts per Await after the first. 0 means
+	// no retries. NewPipelinedSession sets 3.
+	MaxRetries int
+	// Backoff is the base delay between attempts, doubled each retry;
+	// MaxBackoff caps the doubling. NewPipelinedSession sets 50 ms / 2 s.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// SessionID identifies this incarnation. NewPipelinedSession draws a
+	// random one; tests may set it explicitly (must be nonzero).
+	SessionID uint64
+
+	link        MuxLink
+	seq         uint64
+	established bool
+	epoch       uint64
+	slots       []pipeSlot
+	head, n     int
+}
+
+// NewPipelinedSession builds a pipelined session client with the default
+// retry policy (3 retries, 50 ms exponential backoff capped at 2 s) and a
+// fresh random session id.
+func NewPipelinedSession(dial func() (MuxLink, error), depth int) *PipelinedSession {
+	if depth < 1 {
+		depth = 1
+	}
+	return &PipelinedSession{
+		Dial:       dial,
+		Depth:      depth,
+		MaxRetries: 3,
+		Backoff:    50 * time.Millisecond,
+		MaxBackoff: 2 * time.Second,
+		SessionID:  randomSession(),
+	}
+}
+
+func (p *PipelinedSession) init() {
+	if p.slots == nil {
+		d := p.Depth
+		if d < 1 {
+			d = 1
+		}
+		p.slots = make([]pipeSlot, d)
+	}
+}
+
+func (p *PipelinedSession) slot(i int) *pipeSlot {
+	return &p.slots[(p.head+i)%len(p.slots)]
+}
+
+// Epoch returns the worker epoch reported by the last decoded response.
+func (p *PipelinedSession) Epoch() uint64 { return p.epoch }
+
+// InFlight implements Pipeliner.
+func (p *PipelinedSession) InFlight() int { return p.n }
+
+// Submit implements Pipeliner: it encodes the session envelope into the
+// next window slot and eagerly writes it to the link so the server starts
+// working while the caller computes. Write failures are swallowed here and
+// recovered by Await's redial-and-replay (the frame is safely parked in
+// the window either way).
+func (p *PipelinedSession) Submit(worker int, payload []byte) error {
+	p.init()
+	if p.n == len(p.slots) {
+		return errWindowFull
+	}
+	p.seq++
+	flags := byte(0)
+	if p.seq == 1 {
+		// Only the incarnation's first frame says hello; replays re-send
+		// the same bytes, so a lost hello is replayed as a hello.
+		flags = flagHello
+	}
+	s := &p.slots[(p.head+p.n)%len(p.slots)]
+	s.worker = worker
+	s.seq = p.seq
+	s.frame = appendSessionReq(s.frame[:0], flags, p.SessionID, p.seq, payload)
+	s.wireID = 0
+	s.submitted = false
+	s.everSent = false
+	s.sent = time.Now()
+	p.n++
+	p.pump() //nolint:errcheck // recovered in Await
+	return nil
+}
+
+// pump dials a link if needed and submits every unsent window frame in
+// order. Submitted frames always form a prefix of the window on the
+// current link, so order on the wire matches sequence order.
+func (p *PipelinedSession) pump() error {
+	if p.link == nil {
+		link, err := p.Dial()
+		if err != nil {
+			return err
+		}
+		tmet.dials.Inc()
+		p.link = link
+	}
+	for i := 0; i < p.n; i++ {
+		s := p.slot(i)
+		if s.submitted {
+			continue
+		}
+		id, err := p.link.Submit(s.worker, s.frame)
+		if err != nil {
+			p.dropLink()
+			return err
+		}
+		if s.everSent {
+			tmet.pipeReplayed.Inc()
+		}
+		s.wireID = id
+		s.submitted = true
+		s.everSent = true
+	}
+	return nil
+}
+
+// dropLink closes the current link and marks every window frame for
+// re-submission on the next one.
+func (p *PipelinedSession) dropLink() {
+	if p.link != nil {
+		p.link.Close()
+		p.link = nil
+	}
+	for i := 0; i < p.n; i++ {
+		p.slot(i).submitted = false
+	}
+}
+
+// pop retires the oldest window slot.
+func (p *PipelinedSession) pop() {
+	p.head = (p.head + 1) % len(p.slots)
+	p.n--
+}
+
+// Await implements Pipeliner: it resolves the oldest in-flight exchange,
+// redialling and replaying the window on network faults.
+func (p *PipelinedSession) Await() ([]byte, error) {
+	if p.n == 0 {
+		return nil, errWindowEmpty
+	}
+	retries := p.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+	backoff := p.Backoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > retries {
+				return nil, fmt.Errorf("transport: pipelined exchange failed after %d attempts: %w", attempt, lastErr)
+			}
+			tmet.retries.Inc()
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+				if p.MaxBackoff > 0 && backoff > p.MaxBackoff {
+					backoff = p.MaxBackoff
+				}
+			}
+		}
+		if err := p.pump(); err != nil {
+			lastErr = err
+			continue
+		}
+		s := &p.slots[p.head]
+		id, resp, err := p.link.Recv(s.resp)
+		s.resp = resp // keep the (possibly grown) buffer either way
+		if err != nil {
+			var srvErr *ServerError
+			if errors.As(err, &srvErr) {
+				// Delivered and rejected at the framing layer: the link is
+				// intact and a replay would fail identically.
+				p.pop()
+				return nil, err
+			}
+			lastErr = err
+			p.dropLink()
+			continue
+		}
+		if id != s.wireID {
+			lastErr = fmt.Errorf("transport: response id %d does not match oldest in-flight request %d", id, s.wireID)
+			p.dropLink()
+			continue
+		}
+		status, epoch, body, derr := decodeSessionResp(resp)
+		if derr != nil {
+			p.pop()
+			return nil, derr
+		}
+		p.epoch = epoch
+		switch status {
+		case statusOK:
+			p.established = true
+			tmet.pipeCommSeconds.Add(time.Since(s.sent).Seconds())
+			p.pop()
+			return body, nil
+		case statusError:
+			p.pop()
+			return nil, &ServerError{Msg: string(body)}
+		case statusStaleSession:
+			p.pop()
+			return nil, fmt.Errorf("%w (worker %d now at epoch %d)", ErrStaleSession, s.worker, epoch)
+		case statusBadSeq:
+			p.pop()
+			return nil, fmt.Errorf("%w (worker %d, epoch %d)", ErrBadSeq, s.worker, epoch)
+		default:
+			p.pop()
+			return nil, fmt.Errorf("transport: unknown session status 0x%02x", status)
+		}
+	}
+}
+
+// Exchange implements Transport: a synchronous submit+await, used by the
+// final model sync after the trainer drains the window.
+func (p *PipelinedSession) Exchange(worker int, payload []byte) ([]byte, error) {
+	if p.n != 0 {
+		return nil, errWindowFull
+	}
+	if err := p.Submit(worker, payload); err != nil {
+		return nil, err
+	}
+	return p.Await()
+}
+
+// Close implements Transport.
+func (p *PipelinedSession) Close() error {
+	if p.link != nil {
+		err := p.link.Close()
+		p.link = nil
+		return err
+	}
+	return nil
+}
+
+var (
+	_ Pipeliner = (*QueuedPipeliner)(nil)
+	_ Pipeliner = (*PipelinedSession)(nil)
+)

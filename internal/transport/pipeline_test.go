@@ -1,0 +1,306 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestQueuedPipelinerOverlapsAndOrders(t *testing.T) {
+	q := NewQueuedPipeliner(NewLoopback(func(worker int, payload []byte) ([]byte, error) {
+		return []byte(fmt.Sprintf("w%d:%s", worker, payload)), nil
+	}), 3)
+	defer q.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := q.Submit(7, []byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.InFlight() != 3 {
+		t.Fatalf("in flight %d, want 3", q.InFlight())
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := q.Await()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("w7:r%d", i); string(resp) != want {
+			t.Fatalf("await %d = %q, want %q (responses must resolve in submit order)", i, resp, want)
+		}
+	}
+	if q.InFlight() != 0 {
+		t.Fatalf("in flight %d after drain", q.InFlight())
+	}
+}
+
+func TestQueuedPipelinerWindowMisuse(t *testing.T) {
+	q := NewQueuedPipeliner(NewLoopback(plainEcho), 2)
+	defer q.Close()
+
+	if _, err := q.Await(); !errors.Is(err, errWindowEmpty) {
+		t.Fatalf("await on empty window: %v", err)
+	}
+	if err := q.Submit(0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(0, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(0, []byte("c")); !errors.Is(err, errWindowFull) {
+		t.Fatalf("submit beyond depth: %v", err)
+	}
+	// Exchange is only legal on a drained window (the trainer drains before
+	// its final model sync).
+	if _, err := q.Exchange(0, []byte("x")); !errors.Is(err, errWindowFull) {
+		t.Fatalf("exchange with in-flight work: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := q.Await(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if resp, err := q.Exchange(1, []byte("x")); err != nil || string(resp) != "x" {
+		t.Fatalf("drained exchange = %q, %v", resp, err)
+	}
+}
+
+// Stop kills the comms goroutine but leaves the inner transport with the
+// caller (the trainer reuses it for the final synchronous model sync).
+func TestQueuedPipelinerStopLeavesInnerOpen(t *testing.T) {
+	inner := NewLoopback(plainEcho)
+	q := NewQueuedPipeliner(inner, 2)
+	if err := q.Submit(0, []byte("pending")); err != nil {
+		t.Fatal(err)
+	}
+	q.Stop()
+	q.Stop() // idempotent
+	if err := q.Submit(0, []byte("late")); err == nil {
+		t.Fatal("submit after stop must fail")
+	}
+	if resp, err := inner.Exchange(0, []byte("direct")); err != nil || string(resp) != "direct" {
+		t.Fatalf("inner transport unusable after Stop: %q, %v", resp, err)
+	}
+}
+
+// dropOnRecv breaks the underlying connection on its nth Recv, simulating a
+// network fault with responses (and possibly requests) in flight.
+type dropOnRecv struct {
+	MuxLink
+	recvs  int
+	dropAt int
+}
+
+func (d *dropOnRecv) Recv(buf []byte) (uint64, []byte, error) {
+	d.recvs++
+	if d.recvs == d.dropAt {
+		d.MuxLink.Close()
+	}
+	return d.MuxLink.Recv(buf)
+}
+
+// lyingID corrupts the echoed request id of its first response, simulating
+// a desynchronised stream. The session must treat it as a fault (redial and
+// replay), not pair the response with the wrong request.
+type lyingID struct {
+	MuxLink
+	lied bool
+}
+
+func (l *lyingID) Recv(buf []byte) (uint64, []byte, error) {
+	id, resp, err := l.MuxLink.Recv(buf)
+	if err == nil && !l.lied {
+		l.lied = true
+		id++
+	}
+	return id, resp, err
+}
+
+// The pipelined client's reconnect-and-replay against the server's replay
+// window: a mid-stream connection loss with three exchanges in flight must
+// not re-run any handler and must resolve every exchange with the right
+// response.
+func TestPipelinedSessionExactlyOnceAcrossLinkDrop(t *testing.T) {
+	h := &countingHandler{}
+	eo := NewExactlyOnce(h.handle, nil)
+	srv, err := ListenTCP("127.0.0.1:0", eo.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dials := 0
+	ps := NewPipelinedSession(func() (MuxLink, error) {
+		m, err := DialMux(srv.Addr())
+		if err != nil {
+			return nil, err
+		}
+		dials++
+		if dials == 1 {
+			// First link dies on its second receive, with the window full.
+			return &dropOnRecv{MuxLink: m, dropAt: 2}, nil
+		}
+		return m, nil
+	}, 3)
+	defer ps.Close()
+
+	const rounds = 12
+	next := 0
+	recvd := 0
+	awaitOne := func() {
+		resp, err := ps.Await()
+		if err != nil {
+			t.Fatalf("await %d: %v", recvd, err)
+		}
+		if want := fmt.Sprintf("w1:m%02d", recvd); string(resp) != want {
+			t.Fatalf("await %d = %q, want %q", recvd, resp, want)
+		}
+		recvd++
+	}
+	for next < rounds {
+		if ps.InFlight() == 3 {
+			awaitOne()
+		}
+		if err := ps.Submit(1, []byte(fmt.Sprintf("m%02d", next))); err != nil {
+			t.Fatalf("submit %d: %v", next, err)
+		}
+		next++
+	}
+	for ps.InFlight() > 0 {
+		awaitOne()
+	}
+
+	if dials < 2 {
+		t.Fatalf("dialed %d times; the dropped link was never replaced", dials)
+	}
+	if eo.Stats().Replays == 0 {
+		t.Fatal("no server-side replays recorded; the window replay path never ran")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.calls) != rounds {
+		t.Fatalf("handler ran %d times for %d logical exchanges", len(h.calls), rounds)
+	}
+	for i, call := range h.calls {
+		if want := fmt.Sprintf("m%02d", i); call != want {
+			t.Fatalf("call %d was %q, want %q — ordering broken", i, call, want)
+		}
+	}
+}
+
+// A response whose echoed id does not match the oldest in-flight request is
+// stream desynchronisation: the session must drop the link and recover by
+// replay rather than deliver a mispaired response.
+func TestPipelinedSessionDetectsIDMismatch(t *testing.T) {
+	h := &countingHandler{}
+	eo := NewExactlyOnce(h.handle, nil)
+	srv, err := ListenTCP("127.0.0.1:0", eo.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dials := 0
+	ps := NewPipelinedSession(func() (MuxLink, error) {
+		m, err := DialMux(srv.Addr())
+		if err != nil {
+			return nil, err
+		}
+		dials++
+		if dials == 1 {
+			return &lyingID{MuxLink: m}, nil
+		}
+		return m, nil
+	}, 2)
+	defer ps.Close()
+
+	if err := ps.Submit(0, []byte("grad")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ps.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "w0:grad" {
+		t.Fatalf("resp %q", resp)
+	}
+	if dials != 2 {
+		t.Fatalf("dialed %d times, want 2 (mismatch must drop the link)", dials)
+	}
+	if h.count() != 1 {
+		t.Fatalf("handler ran %d times for one logical exchange", h.count())
+	}
+}
+
+// Stale-session rejections are terminal: a fenced incarnation must surface
+// ErrStaleSession instead of replaying forever.
+func TestPipelinedSessionStaleSessionIsTerminal(t *testing.T) {
+	h := &countingHandler{}
+	eo := NewExactlyOnce(h.handle, nil)
+	srv, err := ListenTCP("127.0.0.1:0", eo.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dial := func() (MuxLink, error) { return DialMux(srv.Addr()) }
+	a := NewPipelinedSession(dial, 2)
+	defer a.Close()
+	if _, err := a.Exchange(3, []byte("a1")); err != nil {
+		t.Fatal(err)
+	}
+	b := NewPipelinedSession(dial, 2)
+	defer b.Close()
+	if _, err := b.Exchange(3, []byte("b1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exchange(3, []byte("a2")); !errors.Is(err, ErrStaleSession) {
+		t.Fatalf("fenced exchange: %v, want ErrStaleSession", err)
+	}
+	if h.count() != 2 {
+		t.Fatalf("handler ran %d times; the stale frame must not execute", h.count())
+	}
+}
+
+// The replay window is finite: a duplicate older than Window entries cannot
+// be answered from cache and must be rejected as a bad sequence rather than
+// silently re-executed.
+func TestExactlyOnceEvictsBeyondReplayWindow(t *testing.T) {
+	h := &countingHandler{}
+	eo := NewExactlyOnce(h.handle, nil)
+	eo.Window = 4
+
+	frames := make([][]byte, 0, 6)
+	for seq := uint64(1); seq <= 6; seq++ {
+		flags := byte(0)
+		if seq == 1 {
+			flags = flagHello
+		}
+		frame := encodeSessionReq(flags, 500, seq, []byte(fmt.Sprintf("s%d", seq)))
+		frames = append(frames, frame)
+		if _, err := eo.Handle(0, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	calls := h.count()
+
+	// seq 6 is still cached (newest entry).
+	resp, err := eo.Handle(0, frames[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _, _, _ := decodeSessionResp(resp); st != statusOK {
+		t.Fatalf("in-window replay status 0x%02x", st)
+	}
+	// seq 2's slot was overwritten by seq 6 (ring of 4): evicted.
+	resp, err = eo.Handle(0, frames[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _, _, _ := decodeSessionResp(resp); st != statusBadSeq {
+		t.Fatalf("evicted replay status 0x%02x, want bad seq", st)
+	}
+	if h.count() != calls {
+		t.Fatal("replay attempts must not reach the handler")
+	}
+}

@@ -73,14 +73,25 @@ var ErrStaleSession = errors.New("transport: session superseded by a newer worke
 var ErrBadSeq = errors.New("transport: sequence number out of order")
 
 func encodeSessionReq(flags byte, session, seq uint64, payload []byte) []byte {
-	buf := make([]byte, reqHeaderLen+len(payload))
-	binary.LittleEndian.PutUint32(buf, sessionReqMagic)
-	buf[4] = sessionVersion
-	buf[5] = flags
-	binary.LittleEndian.PutUint64(buf[6:], session)
-	binary.LittleEndian.PutUint64(buf[14:], seq)
-	copy(buf[reqHeaderLen:], payload)
-	return buf
+	return appendSessionReq(nil, flags, session, seq, payload)
+}
+
+// appendSessionReq encodes the session envelope into dst's capacity (the
+// grow-once variant the pipelined session uses for its per-slot frame
+// buffers, which must survive until the exchange resolves for replay).
+func appendSessionReq(dst []byte, flags byte, session, seq uint64, payload []byte) []byte {
+	need := reqHeaderLen + len(payload)
+	if cap(dst) < need {
+		dst = make([]byte, need)
+	}
+	dst = dst[:need]
+	binary.LittleEndian.PutUint32(dst, sessionReqMagic)
+	dst[4] = sessionVersion
+	dst[5] = flags
+	binary.LittleEndian.PutUint64(dst[6:], session)
+	binary.LittleEndian.PutUint64(dst[14:], seq)
+	copy(dst[reqHeaderLen:], payload)
+	return dst
 }
 
 func decodeSessionReq(b []byte) (flags byte, session, seq uint64, payload []byte, err error) {
@@ -229,13 +240,47 @@ type SessionStats struct {
 	Passthrough uint64
 }
 
+// DefaultReplayWindow is the per-worker replay cache depth: the server can
+// answer a retry of any of the last DefaultReplayWindow executed exchanges.
+// A pipelined client may have PipelineDepth requests in flight when a
+// connection dies, and on reconnect it replays the whole window oldest
+// first — so the cache must hold at least PipelineDepth entries or a replay
+// of the oldest in-flight frame would land beyond the window and be
+// rejected as BadSeq. 16 covers every supported pipeline depth with slack;
+// entries are response byte slices that the handler allocated anyway.
+const DefaultReplayWindow = 16
+
+// replayEntry caches one executed exchange's full encoded response.
+type replayEntry struct {
+	seq  uint64
+	resp []byte
+}
+
 // workerSession is the per-worker exactly-once state.
 type workerSession struct {
-	mu       sync.Mutex
-	session  uint64 // current incarnation's session id (0 = none yet)
-	epoch    uint64 // incarnation counter, bumped on every adopted hello
-	lastSeq  uint64 // highest executed sequence number
-	lastResp []byte // full encoded response for lastSeq (replay cache)
+	mu      sync.Mutex
+	session uint64 // current incarnation's session id (0 = none yet)
+	epoch   uint64 // incarnation counter, bumped on every adopted hello
+	lastSeq uint64 // highest executed sequence number
+	// window is a ring of the last executed exchanges' responses, indexed
+	// by seq % len(window) (the replay cache).
+	window []replayEntry
+}
+
+// lookup returns the cached response for seq, or nil when it has been
+// evicted (or was never executed by this incarnation).
+func (ws *workerSession) lookup(seq uint64) []byte {
+	ent := &ws.window[seq%uint64(len(ws.window))]
+	if ent.seq == seq && ent.resp != nil {
+		return ent.resp
+	}
+	return nil
+}
+
+// store caches the response for seq, evicting whatever occupied its ring
+// slot.
+func (ws *workerSession) store(seq uint64, resp []byte) {
+	ws.window[seq%uint64(len(ws.window))] = replayEntry{seq: seq, resp: resp}
 }
 
 // ExactlyOnce is server-side middleware that upgrades any Handler to
@@ -249,6 +294,11 @@ type ExactlyOnce struct {
 	// first exchange reaches the handler. The parameter server resets the
 	// worker's difference accumulator here.
 	onJoin func(worker int) error
+
+	// Window is the per-worker replay cache depth (defaults to
+	// DefaultReplayWindow when zero). It must be at least the largest
+	// client PipelineDepth; set it before the first exchange.
+	Window int
 
 	mu      sync.Mutex
 	workers map[int]*workerSession
@@ -272,7 +322,11 @@ func (e *ExactlyOnce) workerState(worker int) *workerSession {
 	defer e.mu.Unlock()
 	ws := e.workers[worker]
 	if ws == nil {
-		ws = &workerSession{}
+		w := e.Window
+		if w <= 0 {
+			w = DefaultReplayWindow
+		}
+		ws = &workerSession{window: make([]replayEntry, w)}
 		e.workers[worker] = ws
 	}
 	return ws
@@ -324,19 +378,27 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 		// frames the server never saw (lost before delivery) must not block
 		// the incarnation from joining.
 		ws.lastSeq = seq - 1
-		ws.lastResp = nil
+		clear(ws.window)
 		e.count(func(s *SessionStats) { s.Hellos++ })
 		tmet.sessHellos.Inc()
 	}
 
 	switch {
-	case seq == ws.lastSeq && ws.lastResp != nil:
-		// Retransmission of the last executed exchange (lost response,
-		// duplicated frame): answer from the cache, do NOT re-run the
-		// handler — this is the exactly-once guarantee.
-		e.count(func(s *SessionStats) { s.Replays++ })
-		tmet.sessReplays.Inc()
-		return ws.lastResp, nil
+	case seq <= ws.lastSeq:
+		// Retransmission of an already-executed exchange (lost response,
+		// duplicated frame, or a pipelined client replaying its whole
+		// in-flight window after a reconnect): answer from the replay
+		// cache, do NOT re-run the handler — this is the exactly-once
+		// guarantee. An entry evicted from the ring (a rewind further back
+		// than the window) is unanswerable; refuse rather than guess.
+		if resp := ws.lookup(seq); resp != nil {
+			e.count(func(s *SessionStats) { s.Replays++ })
+			tmet.sessReplays.Inc()
+			return resp, nil
+		}
+		e.count(func(s *SessionStats) { s.BadSeq++ })
+		tmet.sessBadSeq.Inc()
+		return encodeSessionResp(statusBadSeq, ws.epoch, nil), nil
 	case seq == ws.lastSeq+1:
 		resp, herr := e.h(worker, app)
 		var enc []byte
@@ -350,14 +412,14 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 			enc = encodeSessionResp(statusOK, ws.epoch, resp)
 		}
 		ws.lastSeq = seq
-		ws.lastResp = enc
+		ws.store(seq, enc)
 		e.count(func(s *SessionStats) { s.Exchanges++ })
 		tmet.sessExchanges.Inc()
 		return enc, nil
 	default:
-		// A gap or a rewind beyond the one-deep replay window. With one
-		// serialised client per session this cannot happen; refuse rather
-		// than guess.
+		// A sequence gap: frames on one connection arrive in order, and a
+		// reconnecting client replays its window oldest-first, so a gap
+		// means two live clients share a session (a protocol violation).
 		e.count(func(s *SessionStats) { s.BadSeq++ })
 		tmet.sessBadSeq.Inc()
 		return encodeSessionResp(statusBadSeq, ws.epoch, nil), nil

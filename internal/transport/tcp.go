@@ -7,13 +7,18 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Wire framing (little endian):
 //
-//	request:  u32 payload length | u32 worker id | payload
-//	response: u32 payload length | u8 status | payload
+//	v1 request:  u32 payload length | u32 worker id | payload
+//	v1 response: u32 payload length | u8 status | payload
+//
+//	v2 request:  u32 payload length | u32 worker id (bit 31 set) |
+//	             u64 request id | payload
+//	v2 response: u32 payload length | u8 status | u64 request id | payload
 //
 // The response status byte distinguishes a successful exchange (statusOK,
 // payload is the handler's response) from a handler failure (statusError,
@@ -24,8 +29,23 @@ import (
 // while retrying a network fault is safe under the exactly-once session
 // protocol (see session.go).
 //
+// v2 is the pipelined (multiplexed) variant: setting bit 31 of the worker
+// field announces an explicit request id that the server echoes back in the
+// response header, which lets one connection carry several in-flight
+// exchanges (see MuxConn in mux.go) while the client verifies that requests
+// and responses stay paired. The server still processes a connection's
+// frames strictly in arrival order — required by the session layer's
+// sequence numbering — so responses come back in request order and the id
+// is a pairing check, not a reordering mechanism. Both framings coexist on
+// one server; each request is answered in the framing it arrived in.
+//
 // maxFrame bounds allocations against corrupt or hostile length prefixes.
 const maxFrame = 1 << 30
+
+// muxWorkerFlag marks a request header as wire-v2 (request-id framed). It
+// occupies bit 31 of the worker-id field, which real worker ids (small
+// non-negative ints) never reach.
+const muxWorkerFlag = 1 << 31
 
 const (
 	statusOK    = 0x00
@@ -54,13 +74,10 @@ type TCPServer struct {
 	H       Handler
 	Traffic *Traffic
 
-	// ExchangeTimeout, when positive, bounds each exchange: once a request
-	// header arrives, reading the payload, running the handler, and writing
-	// the response must complete within this budget or the connection is
-	// closed. Set it before the first client connects. Waiting for the next
-	// request header is not bounded (idle workers computing a batch are
-	// fine).
-	ExchangeTimeout time.Duration
+	// exchangeTimeout is accessed atomically: SetExchangeTimeout is called
+	// from the owning goroutine after listening has started, while every
+	// serve goroutine reads it per frame.
+	exchangeTimeout atomic.Int64
 
 	listener net.Listener
 
@@ -85,6 +102,16 @@ func ListenTCP(addr string, h Handler) (*TCPServer, error) {
 
 // Addr returns the bound listen address.
 func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
+
+// SetExchangeTimeout bounds each exchange when d is positive: once a
+// request header arrives, reading the payload, running the handler, and
+// writing the response must complete within this budget or the connection
+// is closed. Waiting for the next request header is not bounded (idle
+// workers computing a batch are fine). Safe to call while serving; it
+// applies from each connection's next exchange.
+func (s *TCPServer) SetExchangeTimeout(d time.Duration) {
+	s.exchangeTimeout.Store(int64(d))
+}
 
 func (s *TCPServer) acceptLoop() {
 	defer s.wg.Done()
@@ -114,7 +141,18 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	// All fixed-size frame headers live outside the loop: locals passed
+	// through the net.Conn interface escape to the heap, and the per-frame
+	// serve path must not allocate.
 	var hdr [8]byte
+	var idb [8]byte
+	var rhdr [13]byte
+	// payload is the per-connection request buffer, grown once to the
+	// largest frame seen (the response mirror of TCPClient.respBuf). Safe to
+	// reuse across frames: handlers may alias it in their response, but the
+	// response is written before the next frame is read, and anything
+	// retained longer (the exactly-once replay cache) is freshly encoded.
+	var payload []byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
@@ -122,8 +160,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		// The request header marks the start of an exchange: from here the
 		// per-exchange deadline applies to the payload, the handler, and the
 		// response write.
-		if s.ExchangeTimeout > 0 {
-			if err := conn.SetDeadline(time.Now().Add(s.ExchangeTimeout)); err != nil {
+		timeout := time.Duration(s.exchangeTimeout.Load())
+		if timeout > 0 {
+			if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 				return
 			}
 		}
@@ -132,7 +171,22 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if n > maxFrame {
 			return
 		}
-		payload := make([]byte, n)
+		// Wire v2: the mux flag announces an 8-byte request id after the
+		// header, echoed back so the client can verify request/response
+		// pairing across several in-flight exchanges.
+		mux := worker&muxWorkerFlag != 0
+		var reqid uint64
+		if mux {
+			worker &^= muxWorkerFlag
+			if _, err := io.ReadFull(conn, idb[:]); err != nil {
+				return
+			}
+			reqid = binary.LittleEndian.Uint64(idb[:])
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
@@ -148,10 +202,14 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			status = statusError
 			resp = []byte(err.Error())
 		}
-		var rhdr [5]byte
 		binary.LittleEndian.PutUint32(rhdr[:4], uint32(len(resp)))
 		rhdr[4] = status
-		if _, err := conn.Write(rhdr[:]); err != nil {
+		rlen := 5
+		if mux {
+			binary.LittleEndian.PutUint64(rhdr[5:], reqid)
+			rlen = 13
+		}
+		if _, err := conn.Write(rhdr[:rlen]); err != nil {
 			return
 		}
 		if _, err := conn.Write(resp); err != nil {
@@ -160,7 +218,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if status == statusOK {
 			s.Traffic.Record(int(n), len(resp))
 		}
-		if s.ExchangeTimeout > 0 {
+		if timeout > 0 {
 			if err := conn.SetDeadline(time.Time{}); err != nil {
 				return
 			}
@@ -213,6 +271,21 @@ type TCPClient struct {
 	conn   net.Conn
 	mu     sync.Mutex
 	broken bool
+
+	// respBuf is the per-client response buffer, grown once to the largest
+	// response seen and then reused, so the steady-state exchange path is
+	// allocation-free (mirroring ps.Server.Push's per-worker scratch).
+	respBuf []byte
+	// hdr and wb back the single-writev request write; wbufs is re-pointed
+	// at wb before every write because net.Buffers.WriteTo consumes the
+	// slice as it drains. rhdr receives the response header (a struct field
+	// rather than a local because locals passed through the net.Conn
+	// interface escape to the heap, and the steady-state exchange must not
+	// allocate).
+	hdr   [8]byte
+	rhdr  [5]byte
+	wb    [2][]byte
+	wbufs net.Buffers
 }
 
 // DialTCP connects to a TCPServer.
@@ -228,6 +301,12 @@ func DialTCP(addr string) (*TCPClient, error) {
 // connection is marked broken and every subsequent call fails fast with
 // ErrBrokenConn: a half-transmitted frame leaves the stream desynchronised,
 // and continuing would silently pair requests with the wrong responses.
+//
+// Aliasing contract (like ps.Server.Push): the returned slice aliases the
+// client's reusable response buffer and is valid only until this client's
+// next Exchange. Callers that retain a response across exchanges must copy
+// it; the trainer decodes immediately (sparse.DecodeInto copies), and the
+// pipelined adapters copy into their own slots before the next exchange.
 func (c *TCPClient) Exchange(worker int, payload []byte) ([]byte, error) {
 	resp, err := c.exchange(worker, payload)
 	if err != nil {
@@ -249,29 +328,32 @@ func (c *TCPClient) exchange(worker int, payload []byte) ([]byte, error) {
 			return nil, fmt.Errorf("transport: set deadline: %w", err)
 		}
 	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(worker))
-	if _, err := c.conn.Write(hdr[:]); err != nil {
+	// Header and payload go out in one writev: a single syscall, and a
+	// single packet for the common small-frame case instead of a 8-byte
+	// header segment followed by the payload.
+	binary.LittleEndian.PutUint32(c.hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(c.hdr[4:], uint32(worker))
+	c.wb[0] = c.hdr[:]
+	c.wb[1] = payload
+	c.wbufs = net.Buffers(c.wb[:])
+	if _, err := c.wbufs.WriteTo(c.conn); err != nil {
 		c.broken = true
-		return nil, fmt.Errorf("transport: write header: %w", err)
+		return nil, fmt.Errorf("transport: write request: %w", err)
 	}
-	if _, err := c.conn.Write(payload); err != nil {
-		c.broken = true
-		return nil, fmt.Errorf("transport: write payload: %w", err)
-	}
-	var rhdr [5]byte
-	if _, err := io.ReadFull(c.conn, rhdr[:]); err != nil {
+	if _, err := io.ReadFull(c.conn, c.rhdr[:]); err != nil {
 		c.broken = true
 		return nil, fmt.Errorf("transport: read response header: %w", err)
 	}
-	n := binary.LittleEndian.Uint32(rhdr[:4])
-	status := rhdr[4]
+	n := binary.LittleEndian.Uint32(c.rhdr[:4])
+	status := c.rhdr[4]
 	if n > maxFrame {
 		c.broken = true
 		return nil, errors.New("transport: response frame too large")
 	}
-	resp := make([]byte, n)
+	if cap(c.respBuf) < int(n) {
+		c.respBuf = make([]byte, n)
+	}
+	resp := c.respBuf[:n]
 	if _, err := io.ReadFull(c.conn, resp); err != nil {
 		c.broken = true
 		return nil, fmt.Errorf("transport: read response: %w", err)

@@ -215,7 +215,7 @@ func TestTCPServerExchangeTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.ExchangeTimeout = 50 * time.Millisecond
+	srv.SetExchangeTimeout(50 * time.Millisecond)
 	defer srv.Close()
 
 	conn, err := net.Dial("tcp", srv.Addr())
