@@ -37,6 +37,7 @@ PAPER_BENCHTIME ?= 1x
 bench:
 	go run ./cmd/dgs-bench -microbench -benchtime $(BENCHTIME)
 	go run ./cmd/dgs-bench -pipebench
+	go run ./cmd/dgs-bench -serverbench
 	$(MAKE) bench-paper PAPER_BENCHTIME=$(PAPER_BENCHTIME)
 
 # The paper benchmarks run full (short-scale) training per artefact, so the
@@ -48,15 +49,21 @@ bench-paper:
 # tracked baseline with dgs-benchdiff (machine-relative speedups + the
 # zero-allocation invariants), then the pipelined-exchange gate (the
 # depth-2-vs-depth-1 steps/sec ratio is measured within one run, so the
-# 1.3x floor is portable, as is the zero-alloc TCP exchange). SMOKE_OUT and
-# PIPE_SMOKE_OUT are uploaded as CI artifacts.
+# 1.3x floor is portable, as is the zero-alloc TCP exchange), then the
+# many-worker server gate (dirty-tracking vs single-mutex pushes/sec at 8
+# workers, also a within-run ratio, floored at 2x). SMOKE_OUT,
+# PIPE_SMOKE_OUT and SERVER_SMOKE_OUT are uploaded as CI artifacts.
 SMOKE_BENCHTIME ?= 100ms
 SMOKE_OUT ?= bench-smoke.json
 PIPE_SMOKE_STEPS ?= 60
 PIPE_SMOKE_OUT ?= pipe-smoke.json
+SERVER_SMOKE_PUSHES ?= 32
+SERVER_SMOKE_OUT ?= server-smoke.json
 
 bench-smoke:
 	go run ./cmd/dgs-bench -microbench -benchtime $(SMOKE_BENCHTIME) -json $(SMOKE_OUT)
 	go run ./cmd/dgs-benchdiff -baseline BENCH_PR2.json -current $(SMOKE_OUT)
 	go run ./cmd/dgs-bench -pipebench -pipe-steps $(PIPE_SMOKE_STEPS) -json $(PIPE_SMOKE_OUT)
 	go run ./cmd/dgs-benchdiff -pipeline -baseline BENCH_PR4.json -current $(PIPE_SMOKE_OUT)
+	go run ./cmd/dgs-bench -serverbench -server-pushes $(SERVER_SMOKE_PUSHES) -json $(SERVER_SMOKE_OUT)
+	go run ./cmd/dgs-benchdiff -server -baseline BENCH_PR5.json -current $(SERVER_SMOKE_OUT)

@@ -10,6 +10,7 @@
 //	dgs-bench -exp figure2 -out dir   # also write report text files
 //	dgs-bench -microbench             # kernel/hot-path benchmarks → BENCH_PR2.json
 //	dgs-bench -pipebench              # pipelined-exchange benchmark → BENCH_PR4.json
+//	dgs-bench -serverbench            # many-worker server saturation → BENCH_PR5.json
 //	dgs-bench -microbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -37,10 +38,12 @@ func main() {
 		out        = flag.String("out", "", "directory to also write report text files into")
 		micro      = flag.Bool("microbench", false, "run the tracked microbenchmarks and write a JSON report")
 		pipe       = flag.Bool("pipebench", false, "run the pipelined-exchange benchmark and write a JSON report")
-		microOut   = flag.String("json", "", "report path (default BENCH_PR2.json for -microbench, BENCH_PR4.json for -pipebench)")
+		server     = flag.Bool("serverbench", false, "run the many-worker server saturation benchmark and write a JSON report")
+		microOut   = flag.String("json", "", "report path (default BENCH_PR2.json for -microbench, BENCH_PR4.json for -pipebench, BENCH_PR5.json for -serverbench)")
 		benchtime  = flag.String("benchtime", "", "per-benchmark time or count for -microbench (e.g. 1s, 100x)")
 		pipeSteps  = flag.Int("pipe-steps", 0, "measured steps per pipelined run (0 = default 240)")
 		pipeRTT    = flag.Duration("pipe-rtt", 0, "simulated round-trip time (0 = auto-calibrated from compute)")
+		serverPush = flag.Int("server-pushes", 0, "measured pushes per worker for -serverbench (0 = default 256)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -91,6 +94,17 @@ func main() {
 			path = "BENCH_PR4.json"
 		}
 		if err := runPipe(path, *pipeSteps, *pipeRTT); err != nil {
+			fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *server {
+		path := *microOut
+		if path == "" {
+			path = "BENCH_PR5.json"
+		}
+		if err := runServer(path, *serverPush); err != nil {
 			fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -167,6 +181,34 @@ func runPipe(path string, steps int, rtt time.Duration) error {
 		return err
 	}
 	fmt.Printf("[pipeline report written to %s]\n", path)
+	return nil
+}
+
+// runServer runs the many-worker server saturation benchmark and writes the
+// JSON report.
+func runServer(path string, pushesPerWorker int) error {
+	rep, err := bench.RunServer(pushesPerWorker)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("block size %d, %d pushes per worker\n", rep.BlockSize, rep.PushesPerWorker)
+	for _, r := range rep.Results {
+		fmt.Printf("%-14s %2d workers %d shard(s): %9.0f pushes/sec (p99 %7.0f µs) vs baseline %9.0f (p99 %7.0f µs) = %5.2fx, %4.1f%% blocks skipped\n",
+			r.Workload, r.Workers, r.Shards,
+			r.PushesPerSec, r.P99Micros,
+			r.BaselinePushesPerSec, r.BaselineP99Micros,
+			r.Speedup, 100*r.ScanSkipRatio)
+	}
+	fmt.Printf("gated speedup (embed, 8 workers): %.2fx\n", rep.SpeedupAt8)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[server report written to %s]\n", path)
 	return nil
 }
 

@@ -26,12 +26,21 @@
 // (-min-pipeline-speedup, default 1.3×) on any machine, and the TCP
 // exchange round trip must stay allocation-free.
 //
+// With -server the reports are many-worker server saturation reports
+// (dgs-bench -serverbench, tracked in BENCH_PR5.json). The gated quantity is
+// again a within-run ratio: the dirty-tracking server and the frozen
+// single-mutex BaselineServer are measured in the same process on the same
+// updates, and the 8-worker embed speedup must clear an absolute floor
+// (-min-server-speedup, default 2×) on any machine.
+//
 // Usage:
 //
 //	dgs-bench -microbench -benchtime 100ms -json current.json
 //	dgs-benchdiff -baseline BENCH_PR2.json -current current.json
 //	dgs-bench -pipebench -json pipe.json
 //	dgs-benchdiff -pipeline -baseline BENCH_PR4.json -current pipe.json
+//	dgs-bench -serverbench -json server.json
+//	dgs-benchdiff -server -baseline BENCH_PR5.json -current server.json
 package main
 
 import (
@@ -128,6 +137,51 @@ func diffPipeline(baseline, current *bench.PipelineReport, minSpeedup float64) [
 	return problems
 }
 
+// diffServer gates the many-worker server saturation report. Like the
+// pipeline gate, the floor is absolute because the measurement is a
+// within-run ratio (dirty-tracking server vs frozen single-mutex baseline,
+// same process, same updates); the committed baseline report must itself
+// satisfy the gate so a stale tracked file fails loudly here, not in review.
+func diffServer(baseline, current *bench.ServerReport, minSpeedup float64) []string {
+	var problems []string
+	check := func(rep *bench.ServerReport, name string) {
+		if rep.SpeedupAt8 < minSpeedup {
+			problems = append(problems, fmt.Sprintf(
+				"%s: 8-worker server speedup %.2fx below floor %.2fx (vs single-mutex baseline, embed workload)",
+				name, rep.SpeedupAt8, minSpeedup))
+		}
+		found := false
+		for _, pt := range rep.Results {
+			if pt.Workload == "embed" && pt.Workers == 8 {
+				found = true
+				if pt.PushesPerSec <= 0 || pt.BaselinePushesPerSec <= 0 {
+					problems = append(problems, fmt.Sprintf(
+						"%s: embed 8-worker row has non-positive throughput (%.1f / %.1f pushes/sec)",
+						name, pt.PushesPerSec, pt.BaselinePushesPerSec))
+				}
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("%s: embed 8-worker row missing from report", name))
+		}
+	}
+	check(baseline, "baseline")
+	check(current, "current")
+	return problems
+}
+
+func loadServer(path string) (*bench.ServerReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.ServerReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
 func loadPipeline(path string) (*bench.PipelineReport, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -160,11 +214,29 @@ func main() {
 		allowSIMD    = flag.Bool("allow-simd-mismatch", false, "skip speedup checks when SIMD kernels differ")
 		pipeline     = flag.Bool("pipeline", false, "diff pipelined-exchange reports (dgs-bench -pipebench) instead of microbench reports")
 		minPipeline  = flag.Float64("min-pipeline-speedup", 1.3, "pipelined-vs-sync steps/sec floor (with -pipeline)")
+		server       = flag.Bool("server", false, "diff server saturation reports (dgs-bench -serverbench) instead of microbench reports")
+		minServer    = flag.Float64("min-server-speedup", 2.0, "8-worker pushes/sec floor vs the single-mutex baseline (with -server)")
 	)
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "dgs-benchdiff: -current is required")
 		os.Exit(2)
+	}
+	if *server {
+		baseline, err := loadServer(*baselinePath)
+		fatalIf(err)
+		current, err := loadServer(*currentPath)
+		fatalIf(err)
+		problems := diffServer(baseline, current, *minServer)
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "dgs-benchdiff: FAIL:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("dgs-benchdiff: OK (server %.2fx vs single-mutex at 8 workers, floor %.2fx)\n",
+			current.SpeedupAt8, *minServer)
+		return
 	}
 	if *pipeline {
 		baseline, err := loadPipeline(*baselinePath)

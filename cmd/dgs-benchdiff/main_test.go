@@ -86,6 +86,57 @@ func TestDiffFailsOnMissingSpeedupKey(t *testing.T) {
 	wantProblem(t, p, `speedup "gemm_ta_conv" missing`)
 }
 
+func serverReport(speedupAt8 float64) *bench.ServerReport {
+	return &bench.ServerReport{
+		GoVersion:       "go1.22",
+		GoMaxProcs:      1,
+		BlockSize:       1024,
+		PushesPerWorker: 256,
+		Results: []bench.ServerPoint{
+			{Workload: "embed", Workers: 8, Shards: 1,
+				PushesPerSec: 1000 * speedupAt8, BaselinePushesPerSec: 1000,
+				Speedup: speedupAt8, ScanSkipRatio: 0.9},
+			{Workload: "cnn", Workers: 8, Shards: 1,
+				PushesPerSec: 5000, BaselinePushesPerSec: 3000, Speedup: 1.6},
+		},
+		SpeedupAt8: speedupAt8,
+	}
+}
+
+func TestDiffServerPasses(t *testing.T) {
+	if p := diffServer(serverReport(4.0), serverReport(2.3), 2.0); len(p) != 0 {
+		t.Fatalf("expected clean server diff, got %v", p)
+	}
+}
+
+func TestDiffServerFailsBelowFloor(t *testing.T) {
+	p := diffServer(serverReport(4.0), serverReport(1.7), 2.0)
+	wantProblem(t, p, "current")
+	wantProblem(t, p, "below floor")
+}
+
+func TestDiffServerFailsOnStaleBaseline(t *testing.T) {
+	// The committed baseline must itself satisfy the gate, so a stale
+	// tracked report fails loudly rather than masking a regression.
+	p := diffServer(serverReport(1.2), serverReport(3.0), 2.0)
+	wantProblem(t, p, "baseline")
+	wantProblem(t, p, "below floor")
+}
+
+func TestDiffServerFailsOnMissingRow(t *testing.T) {
+	cur := serverReport(3.0)
+	cur.Results = cur.Results[1:] // drop the embed 8-worker row
+	p := diffServer(serverReport(4.0), cur, 2.0)
+	wantProblem(t, p, "embed 8-worker row missing")
+}
+
+func TestDiffServerFailsOnBogusThroughput(t *testing.T) {
+	cur := serverReport(3.0)
+	cur.Results[0].BaselinePushesPerSec = 0
+	p := diffServer(serverReport(4.0), cur, 2.0)
+	wantProblem(t, p, "non-positive throughput")
+}
+
 func TestDiffSIMDMismatch(t *testing.T) {
 	cur := currentLike()
 	cur.SIMDKernel = false

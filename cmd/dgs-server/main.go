@@ -35,6 +35,8 @@ func main() {
 		secondary = flag.Bool("secondary", false, "enable downward secondary compression")
 		ratio     = flag.Float64("ratio", 0.01, "secondary compression keep ratio")
 		denseDown = flag.Bool("dense-down", false, "ship the whole model downward (ASGD mode)")
+		shards    = flag.Int("shards", 1, "partition layers across this many lock-independent shards")
+		blockSize = flag.Int("block-size", 0, "dirty-tracking block size in elements (power of two; 0 = default 1024)")
 		statEvery = flag.Duration("stats", 10*time.Second, "stats print interval")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-exchange deadline (0 disables)")
 
@@ -48,13 +50,30 @@ func main() {
 		InC: *inC, H: *inHW, W: *inHW,
 		StageChannels: []int{8, 16, 32}, Blocks: 1, Classes: *classes,
 	})
-	server := ps.NewServer(ps.Config{
+	shift := uint(0)
+	if *blockSize > 0 {
+		if *blockSize&(*blockSize-1) != 0 {
+			fmt.Fprintf(os.Stderr, "dgs-server: -block-size %d is not a power of two\n", *blockSize)
+			os.Exit(2)
+		}
+		for 1<<shift < *blockSize {
+			shift++
+		}
+	}
+	cfg := ps.Config{
 		LayerSizes:     model.LayerSizes(),
 		Workers:        *workers,
 		Secondary:      *secondary,
 		SecondaryRatio: *ratio,
 		DenseDownward:  *denseDown,
-	})
+		BlockShift:     shift,
+	}
+	var server ps.Pusher
+	if *shards > 1 {
+		server = ps.NewShardedServer(cfg, *shards)
+	} else {
+		server = ps.NewServer(cfg)
+	}
 	// The exactly-once session layer makes worker retries safe (replayed
 	// pushes answer from cache instead of re-applying) and resyncs
 	// crashed-and-rejoined workers with a dense snapshot.
@@ -66,8 +85,8 @@ func main() {
 	}
 	srv.SetExchangeTimeout(*timeout)
 	defer srv.Close()
-	fmt.Printf("dgs-server: listening on %s (%d params, %d workers, secondary=%v)\n",
-		srv.Addr(), model.NumParams(), *workers, *secondary)
+	fmt.Printf("dgs-server: listening on %s (%d params, %d workers, %d shard(s), secondary=%v)\n",
+		srv.Addr(), model.NumParams(), *workers, *shards, *secondary)
 
 	manifest := telemetry.NewManifest(nil)
 	manifest.Set("role", "server")
@@ -76,6 +95,7 @@ func main() {
 	manifest.Set("secondary", *secondary)
 	manifest.Set("secondary_ratio", *ratio)
 	manifest.Set("dense_downward", *denseDown)
+	manifest.Set("shards", *shards)
 	manifest.Set("addr", srv.Addr())
 	if *metrics != "" {
 		msrv, err := telemetry.ListenAndServe(*metrics, nil)

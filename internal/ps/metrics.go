@@ -2,6 +2,8 @@ package ps
 
 import (
 	"strconv"
+	"sync"
+	"time"
 
 	"dgs/internal/telemetry"
 )
@@ -12,13 +14,43 @@ import (
 // it. A nil *metrics (Config.Quiet, used for the shards inside a
 // ShardedServer) disables recording entirely.
 type metrics struct {
-	pushes     *telemetry.Counter
-	resyncs    *telemetry.Counter
-	upValues   *telemetry.Counter
-	downValues *telemetry.Counter
-	density    *telemetry.Gauge
-	staleness  []*telemetry.Histogram // per worker
-	modelSize  float64
+	pushes        *telemetry.Counter
+	resyncs       *telemetry.Counter
+	upValues      *telemetry.Counter
+	downValues    *telemetry.Counter
+	density       *telemetry.Gauge
+	lockWait      *telemetry.Histogram
+	blocksScanned *telemetry.Counter
+	blocksSkipped *telemetry.Counter
+	staleness     []*telemetry.Histogram // per worker
+	modelSize     float64
+}
+
+// pushRate derives dgs_ps_pushes_per_sec: each scrape reports the push rate
+// since the previous scrape (first scrape reports 0). The state lives behind
+// its own mutex because GaugeFunc callbacks run on the collector goroutine,
+// never on the push path.
+type pushRate struct {
+	mu    sync.Mutex
+	src   *telemetry.Counter
+	last  uint64
+	at    time.Time
+	valid bool
+}
+
+func (p *pushRate) rate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	cur := p.src.Value()
+	var r float64
+	if p.valid {
+		if dt := now.Sub(p.at).Seconds(); dt > 0 {
+			r = float64(cur-p.last) / dt
+		}
+	}
+	p.last, p.at, p.valid = cur, now, true
+	return r
 }
 
 // newMetrics registers the ps metric family against the default registry
@@ -38,8 +70,18 @@ func newMetrics(layerSizes []int, workers int) *metrics {
 			"Nonzero values shipped in downward (server to worker) differences."),
 		density: reg.Gauge("dgs_ps_down_density",
 			"Density of the last downward difference: values sent / model size."),
+		lockWait: reg.Histogram("dgs_ps_push_lock_wait_seconds",
+			"Time a push spent waiting for the model write lock (apply-phase contention).",
+			telemetry.DurationBuckets()),
+		blocksScanned: reg.Counter("dgs_ps_diff_blocks_scanned_total",
+			"Dirty-tracking blocks visited while computing downward differences."),
+		blocksSkipped: reg.Counter("dgs_ps_diff_blocks_skipped_total",
+			"Dirty-tracking blocks proved untouched and skipped by the diff."),
 		staleness: make([]*telemetry.Histogram, workers),
 	}
+	rate := &pushRate{src: m.pushes}
+	reg.GaugeFunc("dgs_ps_pushes_per_sec",
+		"Push throughput since the previous metrics collection.", rate.rate)
 	for k := range m.staleness {
 		m.staleness[k] = reg.Histogram("dgs_ps_staleness",
 			"Staleness observed per push: server updates since the worker's last exchange.",
@@ -52,7 +94,7 @@ func newMetrics(layerSizes []int, workers int) *metrics {
 }
 
 // observePush records one completed exchange. All paths are alloc-free.
-func (m *metrics) observePush(worker int, stale, upNNZ, downNNZ uint64) {
+func (m *metrics) observePush(worker int, stale, upNNZ, downNNZ uint64, lockWait time.Duration, scanned, skipped uint64) {
 	if m == nil {
 		return
 	}
@@ -60,6 +102,9 @@ func (m *metrics) observePush(worker int, stale, upNNZ, downNNZ uint64) {
 	m.staleness[worker].Observe(float64(stale))
 	m.upValues.Add(upNNZ)
 	m.downValues.Add(downNNZ)
+	m.lockWait.Observe(lockWait.Seconds())
+	m.blocksScanned.Add(scanned)
+	m.blocksSkipped.Add(skipped)
 	if m.modelSize > 0 {
 		m.density.Set(float64(downNNZ) / m.modelSize)
 	}

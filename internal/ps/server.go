@@ -10,11 +10,38 @@
 // compression v_k == M after every exchange, so the worker that applies G
 // holds exactly the server model (Eq. 5): DGS without sparsification is
 // ASGD.
+//
+// # Throughput design (dirty-range diff + lock decomposition)
+//
+// A naive Push serialises every exchange behind one mutex and rescans the
+// entire model computing M − v_k, capping server throughput at
+// ~1/(full-model scan) regardless of cores or workers. This implementation
+// (see DESIGN.md §11) makes Push cost O(coordinates changed since worker k
+// last synced) and lets pushes from different workers overlap:
+//
+//   - M carries per-layer block version stamps (sparse.MarkBlocks): the
+//     diff for worker k only visits blocks whose version exceeds the
+//     timestamp of k's last exchange. All other blocks still hold
+//     M == v_k exactly and contribute nothing.
+//   - One short write lock covers only the M ← M − g apply and the
+//     timestamp bump. The expensive diff/gather runs under a read lock, so
+//     any number of workers compute their differences concurrently.
+//   - v_k, prev(k) and the downward scratch are guarded per worker;
+//     statistics, the timestamp and epochs are atomics, so Stats(),
+//     Timestamp() and Epoch() never contend with an in-flight push.
+//
+// Results are bitwise-identical to the frozen single-mutex BaselineServer
+// (enforced by TestPushEquivalence): the skipped blocks are exactly those
+// where the diff is provably zero, and a per-worker residual bitmap keeps
+// rescanning the rare block where float rounding left v_k + (M−v_k) ≠ M,
+// which the full scan would have re-sent as a tiny correction.
 package ps
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dgs/internal/sparse"
 )
@@ -37,13 +64,21 @@ type Config struct {
 	// the wire cost is the full dense model — this flag exists so traffic
 	// accounting reflects the baseline's true cost.
 	DenseDownward bool
+	// BlockShift sets the dirty-tracking block size to 2^BlockShift
+	// elements (0 selects sparse.DefaultBlockShift, 1024-element blocks).
+	// Smaller blocks skip more of the model per diff at the cost of a
+	// larger version array; the result is identical either way.
+	BlockShift uint
 	// Quiet suppresses telemetry registration. ShardedServer sets it on its
 	// inner shards and instruments at the wrapper, so one logical push is
 	// counted once rather than once per shard.
 	Quiet bool
 }
 
-// Stats is a snapshot of server counters.
+// Stats is a snapshot of server counters. Counters are maintained with
+// atomics, so a snapshot taken while pushes are in flight is monotone per
+// field but not a single linearisation point across fields; quiescent reads
+// (tests, shutdown summaries) are exact.
 type Stats struct {
 	// Pushes is the number of updates applied (the server timestamp t).
 	Pushes uint64
@@ -54,6 +89,11 @@ type Stats struct {
 	MaxStaleness uint64
 	// Resyncs is the number of worker state resets (crash/rejoin recoveries).
 	Resyncs uint64
+	// DiffBlocksScanned / DiffBlocksSkipped count dirty-tracking blocks the
+	// downward diff visited vs proved untouched and skipped. Their ratio is
+	// the fraction of full-model work the diff tracking eliminated.
+	DiffBlocksScanned uint64
+	DiffBlocksSkipped uint64
 }
 
 // Pusher is the server-side exchange interface shared by Server and
@@ -77,27 +117,68 @@ type Pusher interface {
 	LayerSizes() []int
 }
 
+// workerState is everything the server keeps per worker. It is guarded by
+// its own mutex: a worker's exchanges are serialised by the transport, so
+// the lock is uncontended on the hot path — it exists to order Push against
+// Resync/VSnapshot from other goroutines and to keep the race detector
+// honest.
+type workerState struct {
+	mu sync.Mutex
+	// v is the accumulation of differences sent to this worker.
+	v [][]float32
+	// prev is the server timestamp at the worker's last exchange (staleness
+	// baseline).
+	prev uint64
+	// syncVer is the dirty-tracking horizon: every block whose version is
+	// ≤ syncVer held M == v_k exactly when the worker last synchronised.
+	// Resync resets it to 0 (blocks never touched still hold M == 0 == v_k,
+	// everything else is rescanned, which re-ships the dense snapshot).
+	syncVer uint64
+	// resid[layer] is a per-block bitmap of coordinates where float
+	// rounding left v_k ≠ M after an exchange (v + (M−v) is not always
+	// exact). Set bits force a rescan even when the block version is clean,
+	// so the tiny correction the full scan would re-send still goes out and
+	// results stay bitwise-identical to BaselineServer.
+	resid [][]uint64
+	// epoch is the incarnation counter, bumped on Resync. Atomic so the
+	// transport's fencing reads never touch a lock.
+	epoch atomic.Uint64
+	// down is the downward-update scratch the Push return value aliases;
+	// it lives until this worker's next exchange, so steady-state pushes
+	// allocate nothing.
+	down sparse.Update
+	// diff is full-layer difference scratch, allocated only when secondary
+	// compression needs a materialised M − v_k to Top-k over.
+	diff []float32
+	sel  sparse.Selector
+}
+
 // Server is a thread-safe DGS parameter server.
 type Server struct {
-	cfg Config
+	cfg        Config
+	blockShift uint
 
-	mu    sync.Mutex
-	m     [][]float32   // M: accumulation of updates
-	v     [][][]float32 // v[k]: accumulation of differences sent to worker k
-	prev  []uint64      // prev(k): server timestamp at worker k's last exchange
-	epoch []uint64      // epoch(k): incarnation counter, bumped on Resync
-	t     uint64        // timestamp: number of updates applied
-	stats Stats
+	// mu orders model writes against model reads: Push's apply phase holds
+	// the write lock only for the sparse M ← M − g scatter and version
+	// bump; diff computation and MSnapshot hold the read lock, so workers
+	// gather their differences concurrently.
+	mu   sync.RWMutex
+	m    [][]float32 // M: accumulation of updates
+	mver [][]uint64  // per layer, per block: timestamp of the last apply
 
-	// scratch for difference computation, reused under the lock
-	diff [][]float32
-	// downward-update scratch, one per worker: the Update returned by Push
-	// aliases this storage, so each slot lives until that worker's next
-	// exchange and steady-state pushes allocate nothing.
-	down     []sparse.Update
-	denseIdx []int32 // 0..maxLayer-1, shared by all dense gathers
-	nzIdx    []int32 // nonzero-position scratch, reused under the lock
-	sel      sparse.Selector
+	t atomic.Uint64 // timestamp: number of updates applied
+
+	// counters (see Stats)
+	pushes        atomic.Uint64
+	stalenessSum  atomic.Uint64
+	maxStaleness  atomic.Uint64
+	resyncs       atomic.Uint64
+	blocksScanned atomic.Uint64
+	blocksSkipped atomic.Uint64
+
+	workers []workerState
+
+	denseIdx []int32 // 0..maxLayer-1, shared read-only by all dense gathers
 
 	met *metrics // nil when cfg.Quiet
 }
@@ -110,7 +191,13 @@ func NewServer(cfg Config) *Server {
 	if cfg.Secondary && (cfg.SecondaryRatio <= 0 || cfg.SecondaryRatio > 1) {
 		panic(fmt.Sprintf("ps: secondary ratio %v out of (0,1]", cfg.SecondaryRatio))
 	}
-	s := &Server{cfg: cfg}
+	if cfg.BlockShift == 0 {
+		cfg.BlockShift = sparse.DefaultBlockShift
+	}
+	if cfg.BlockShift > 30 {
+		panic(fmt.Sprintf("ps: block shift %d out of range (0,30]", cfg.BlockShift))
+	}
+	s := &Server{cfg: cfg, blockShift: cfg.BlockShift}
 	alloc := func() [][]float32 {
 		out := make([][]float32, len(cfg.LayerSizes))
 		for i, n := range cfg.LayerSizes {
@@ -119,18 +206,24 @@ func NewServer(cfg Config) *Server {
 		return out
 	}
 	s.m = alloc()
-	s.diff = alloc()
-	s.v = make([][][]float32, cfg.Workers)
-	for k := range s.v {
-		s.v[k] = alloc()
-	}
-	s.prev = make([]uint64, cfg.Workers)
-	s.epoch = make([]uint64, cfg.Workers)
-	s.down = make([]sparse.Update, cfg.Workers)
+	s.mver = make([][]uint64, len(cfg.LayerSizes))
 	maxLayer := 0
-	for _, n := range cfg.LayerSizes {
+	for i, n := range cfg.LayerSizes {
+		s.mver[i] = make([]uint64, sparse.NumBlocks(n, s.blockShift))
 		if n > maxLayer {
 			maxLayer = n
+		}
+	}
+	s.workers = make([]workerState, cfg.Workers)
+	for k := range s.workers {
+		w := &s.workers[k]
+		w.v = alloc()
+		w.resid = make([][]uint64, len(cfg.LayerSizes))
+		for i := range w.resid {
+			w.resid[i] = make([]uint64, (len(s.mver[i])+63)/64)
+		}
+		if cfg.Secondary {
+			w.diff = make([]float32, maxLayer)
 		}
 	}
 	s.denseIdx = make([]int32, maxLayer)
@@ -155,127 +248,240 @@ func (s *Server) Resync(worker int) {
 	if worker < 0 || worker >= s.cfg.Workers {
 		panic(fmt.Sprintf("ps: worker %d out of range [0,%d)", worker, s.cfg.Workers))
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, layer := range s.v[worker] {
+	w := &s.workers[worker]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, layer := range w.v {
 		for j := range layer {
 			layer[j] = 0
 		}
 	}
-	s.prev[worker] = s.t
-	s.epoch[worker]++
-	s.stats.Resyncs++
+	for _, bits := range w.resid {
+		for i := range bits {
+			bits[i] = 0
+		}
+	}
+	w.prev = s.t.Load()
+	// syncVer 0 forces the next diff to visit every block ever touched:
+	// against v_k == 0 that reconstructs the full dense snapshot, while
+	// never-touched blocks still hold M == 0 == v_k and stay skippable.
+	w.syncVer = 0
+	w.epoch.Add(1)
+	s.resyncs.Add(1)
 	s.met.observeResync()
 }
 
 // Epoch returns worker k's incarnation counter.
 func (s *Server) Epoch(worker int) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.epoch[worker]
+	if worker < 0 || worker >= s.cfg.Workers {
+		panic(fmt.Sprintf("ps: worker %d out of range [0,%d)", worker, s.cfg.Workers))
+	}
+	return s.workers[worker].epoch.Load()
 }
 
 // Push applies worker k's update g (M ← M − g), computes the downward model
 // difference G for k, advances v_k and prev(k), and returns G together with
 // the new server timestamp. It is safe for concurrent use by multiple
-// workers. The returned update aliases per-worker server scratch: it is
-// valid until this worker's next Push or Resync, so steady-state exchanges
-// allocate nothing. Callers that need to retain it longer must copy.
+// workers, and pushes from different workers overlap: only the sparse apply
+// itself serialises on the model write lock. The returned update aliases
+// per-worker server scratch: it is valid until this worker's next Push or
+// Resync, so steady-state exchanges allocate nothing. Callers that need to
+// retain it longer must copy.
 func (s *Server) Push(worker int, g *sparse.Update) (sparse.Update, uint64) {
 	if worker < 0 || worker >= s.cfg.Workers {
 		panic(fmt.Sprintf("ps: worker %d out of range [0,%d)", worker, s.cfg.Workers))
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	w := &s.workers[worker]
+	w.mu.Lock()
+	defer w.mu.Unlock()
 
-	// Staleness accounting: how many server updates happened since this
-	// worker last synchronised.
-	stale := s.t - s.prev[worker]
-	s.stats.StalenessSum += stale
-	if stale > s.stats.MaxStaleness {
-		s.stats.MaxStaleness = stale
+	// Apply the upward update: M ← M − g (Algorithm 2 line 3) and stamp the
+	// touched blocks. This is the only part that needs the write lock.
+	var lockWait time.Duration
+	if s.met != nil {
+		start := time.Now()
+		s.mu.Lock()
+		lockWait = time.Since(start)
+	} else {
+		s.mu.Lock()
 	}
-
-	// Apply the upward update: M ← M − g (Algorithm 2 line 3).
+	t0 := s.t.Load()
+	tNew := t0 + 1
 	for i := range g.Chunks {
 		c := &g.Chunks[i]
 		sparse.Scatter(c, s.m[c.Layer], -1)
+		sparse.MarkBlocks(s.mver[c.Layer], c.Idx, tNew, s.blockShift)
 	}
-	s.t++
-	s.stats.Pushes++
+	s.t.Store(tNew)
+	s.mu.Unlock()
 
-	// Compute G = M − v_k into scratch (Eq. 3 / Algorithm 2 line 4),
-	// assembling the downward update into this worker's retained slot.
-	vk := s.v[worker]
-	out := &s.down[worker]
+	// Staleness accounting: how many server updates happened since this
+	// worker last synchronised. Atomics — no lock held.
+	stale := t0 - w.prev
+	s.pushes.Add(1)
+	s.stalenessSum.Add(stale)
+	atomicMax(&s.maxStaleness, stale)
+
+	// Compute G = M − v_k (Eq. 3 / Algorithm 2 line 4) under the read lock:
+	// concurrent pushes by other workers gather here in parallel. tSeen is
+	// the timestamp whose applies are fully visible to this read section
+	// (every apply completes under the write lock before t advances), so it
+	// is the horizon v_k is synchronised to afterwards.
+	s.mu.RLock()
+	tSeen := s.t.Load()
+	scanned, skipped := s.gatherDown(w, w.syncVer)
+	s.mu.RUnlock()
+
+	w.prev = tSeen
+	w.syncVer = tSeen
+	s.blocksScanned.Add(scanned)
+	s.blocksSkipped.Add(skipped)
+	s.met.observePush(worker, stale, uint64(g.NNZ()), uint64(w.down.NNZ()), lockWait, scanned, skipped)
+	return w.down, tSeen
+}
+
+// gatherDown assembles the downward update for w into w.down and records it
+// in v_k. The caller holds w.mu and s.mu.RLock. since is the dirty-tracking
+// horizon: in the sparse non-secondary path, blocks stamped at or before it
+// (and without a residual bit) are skipped outright.
+func (s *Server) gatherDown(w *workerState, since uint64) (scanned, skipped uint64) {
+	out := &w.down
 	out.Chunks = out.Chunks[:0]
 	for layer := range s.m {
-		d := s.diff[layer]
-		ml, vl := s.m[layer], vk[layer]
-		nnz := 0
-		for j := range d {
-			d[j] = ml[j] - vl[j]
-			if d[j] != 0 {
-				nnz++
-			}
-		}
-		if s.cfg.DenseDownward {
+		ml, vl := s.m[layer], w.v[layer]
+		switch {
+		case s.cfg.DenseDownward:
 			// Ship every coordinate (whole-model download semantics).
-			c := out.NextChunk()
-			sparse.GatherInto(c, layer, d, s.denseIdx[:len(d)])
-			sparse.Scatter(c, vl, 1)
-			continue
-		}
-		if nnz == 0 {
-			continue
-		}
-		var idx []int32
-		if s.cfg.Secondary {
+			denseDiff(out.NextChunk(), layer, ml, vl, s.denseIdx)
+		case s.cfg.Secondary:
 			// Secondary compression: keep only the top R% of |G| for this
 			// layer; the remainder stays implicit in M − v_k and is
-			// transmitted once it grows large enough (Eq. 6).
+			// transmitted once it grows large enough (Eq. 6). The residual
+			// makes every block a candidate, so this path scans the full
+			// layer (the Top-k selection would anyway).
+			d := w.diff[:len(ml)]
+			nnz := 0
+			for j := range d {
+				d[j] = ml[j] - vl[j]
+				if d[j] != 0 {
+					nnz++
+				}
+			}
+			if nnz == 0 {
+				continue
+			}
 			k := sparse.KForRatio(len(d), s.cfg.SecondaryRatio)
 			if k > nnz {
 				k = nnz
 			}
-			idx = s.sel.TopK(d, k)
-		} else {
-			idx = s.nzIdx[:0]
-			for j, dv := range d {
-				if dv != 0 {
-					idx = append(idx, int32(j))
-				}
+			idx := w.sel.TopK(d, k)
+			c := out.NextChunk()
+			sparse.GatherInto(c, layer, d, idx)
+			// v_k ← v_k + G (Eq. 6b): record exactly what was sent.
+			sparse.Scatter(c, vl, 1)
+		default:
+			c := out.NextChunk()
+			sc, sk := sparseDiff(c, layer, ml, vl, s.mver[layer], w.resid[layer], since, s.blockShift)
+			scanned += sc
+			skipped += sk
+			if len(c.Idx) == 0 {
+				// No difference in this layer: match the full scan, which
+				// emits no chunk (the popped slot's storage stays pooled).
+				out.Chunks = out.Chunks[:len(out.Chunks)-1]
 			}
-			s.nzIdx = idx[:0] // keep the grown capacity for the next push
 		}
-		c := out.NextChunk()
-		sparse.GatherInto(c, layer, d, idx)
-		// v_k ← v_k + G (Eq. 6b): record exactly what was sent.
-		sparse.Scatter(c, vl, 1)
 	}
-	s.prev[worker] = s.t
-	s.met.observePush(worker, stale, uint64(g.NNZ()), uint64(out.NNZ()))
-	return *out, s.t
+	return scanned, skipped
 }
 
-// Timestamp returns the current server timestamp t.
-func (s *Server) Timestamp() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.t
+// denseDiff fills c with the complete difference ml − vl (every coordinate,
+// ASGD whole-model semantics) and folds it into vl. Identical output to the
+// full-scan GatherInto + Scatter pair, with one pass over the layer.
+func denseDiff(c *sparse.Chunk, layer int, ml, vl []float32, denseIdx []int32) {
+	c.Layer = layer
+	c.Idx = append(c.Idx[:0], denseIdx[:len(ml)]...)
+	if cap(c.Val) < len(ml) {
+		c.Val = make([]float32, len(ml))
+	}
+	c.Val = c.Val[:len(ml)]
+	for j := range ml {
+		dv := ml[j] - vl[j]
+		c.Val[j] = dv
+		vl[j] += dv
+	}
 }
+
+// sparseDiff appends the nonzero coordinates of ml − vl (ascending) into c
+// and folds them into vl, visiting only blocks whose version exceeds since
+// or whose residual bit is set. Skipped blocks are exactly those where
+// vl == ml held at the worker's last exchange and no apply has touched them
+// since — their difference is provably zero. The residual bitmap tracks the
+// one exception: float addition can round v + (M−v) away from M, and the
+// full scan would re-send that sliver next time, so such blocks stay marked
+// until a rescan observes vl == ml for every coordinate.
+func sparseDiff(c *sparse.Chunk, layer int, ml, vl []float32, ver, resid []uint64, since uint64, shift uint) (scanned, skipped uint64) {
+	c.Layer = layer
+	c.Idx = c.Idx[:0]
+	c.Val = c.Val[:0]
+	for b := range ver {
+		word, bit := b>>6, uint(b&63)
+		if ver[b] <= since && resid[word]&(1<<bit) == 0 {
+			skipped++
+			continue
+		}
+		scanned++
+		lo, hi := sparse.BlockSpan(b, shift, len(ml))
+		clean := true
+		for j := lo; j < hi; j++ {
+			dv := ml[j] - vl[j]
+			if dv != 0 {
+				c.Idx = append(c.Idx, int32(j))
+				c.Val = append(c.Val, dv)
+				vl[j] += dv
+				if vl[j] != ml[j] {
+					clean = false
+				}
+			}
+		}
+		if clean {
+			resid[word] &^= 1 << bit
+		} else {
+			resid[word] |= 1 << bit
+		}
+	}
+	return scanned, skipped
+}
+
+// atomicMax raises v to x if x is larger (CAS loop; no-op when not).
+func atomicMax(v *atomic.Uint64, x uint64) {
+	for {
+		old := v.Load()
+		if x <= old || v.CompareAndSwap(old, x) {
+			return
+		}
+	}
+}
+
+// Timestamp returns the current server timestamp t (lock-free, so
+// transport-layer epoch fencing and monitoring never contend with pushes).
+func (s *Server) Timestamp() uint64 { return s.t.Load() }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Pushes:            s.pushes.Load(),
+		StalenessSum:      s.stalenessSum.Load(),
+		MaxStaleness:      s.maxStaleness.Load(),
+		Resyncs:           s.resyncs.Load(),
+		DiffBlocksScanned: s.blocksScanned.Load(),
+		DiffBlocksSkipped: s.blocksSkipped.Load(),
+	}
 }
 
 // MSnapshot copies the current update accumulation M (θ_t − θ_0) into dst.
 func (s *Server) MSnapshot(dst [][]float32) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for i := range s.m {
 		copy(dst[i], s.m[i])
 	}
@@ -284,15 +490,18 @@ func (s *Server) MSnapshot(dst [][]float32) {
 // VSnapshot copies worker k's sent-accumulation v_k into dst (for tests and
 // invariant checks).
 func (s *Server) VSnapshot(worker int, dst [][]float32) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i := range s.v[worker] {
-		copy(dst[i], s.v[worker][i])
+	w := &s.workers[worker]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := range w.v {
+		copy(dst[i], w.v[i])
 	}
 }
 
 // StateBytes reports server memory: M plus one v_k per worker — the paper's
-// §5.6.2 overhead of NumWorkers × model size.
+// §5.6.2 overhead of NumWorkers × model size. (Block versions and residual
+// bitmaps add one uint64 per 4 KiB of parameters and one bit per block per
+// worker; both are noise next to the float payload and are not counted.)
 func (s *Server) StateBytes() int {
 	n := 0
 	for _, l := range s.cfg.LayerSizes {

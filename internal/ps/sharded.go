@@ -229,7 +229,10 @@ func (s *ShardedServer) Push(worker int, g *sparse.Update) (sparse.Update, uint6
 		if stale < 0 {
 			stale = 0
 		}
-		s.met.observePush(worker, uint64(stale), uint64(g.NNZ()), uint64(sp.out.NNZ()))
+		// Lock-wait and block counters live on the shards; the wrapper reports
+		// zero wait (it holds no model lock itself) and aggregates the
+		// scan/skip totals through Stats instead.
+		s.met.observePush(worker, uint64(stale), uint64(g.NNZ()), uint64(sp.out.NNZ()), 0, 0, 0)
 	}
 	s.prevClock[worker] = clock
 	return sp.out, clock
@@ -254,6 +257,18 @@ func (s *ShardedServer) Resync(worker int) {
 	s.met.observeResync()
 }
 
+// Timestamp returns the wrapper's logical clock: the sum of shard
+// timestamps, the same clock Push returns. Shard clocks are read lock-free
+// and each is monotone, so successive Timestamp calls never go backwards
+// even while pushes are in flight.
+func (s *ShardedServer) Timestamp() uint64 {
+	var clock uint64
+	for _, shard := range s.shards {
+		clock += shard.Timestamp()
+	}
+	return clock
+}
+
 // Epoch returns the worker's incarnation counter (identical across shards;
 // shard 0 is authoritative).
 func (s *ShardedServer) Epoch(worker int) uint64 {
@@ -267,6 +282,8 @@ func (s *ShardedServer) Stats() Stats {
 		st := shard.Stats()
 		total.Pushes += st.Pushes
 		total.StalenessSum += st.StalenessSum
+		total.DiffBlocksScanned += st.DiffBlocksScanned
+		total.DiffBlocksSkipped += st.DiffBlocksSkipped
 		if st.MaxStaleness > total.MaxStaleness {
 			total.MaxStaleness = st.MaxStaleness
 		}

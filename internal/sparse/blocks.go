@@ -1,0 +1,46 @@
+package sparse
+
+// Block-version helpers for dirty-range diff tracking (ps.Server): a layer
+// of n elements is divided into fixed 2^shift-element blocks, and each block
+// carries the logical timestamp of the last sparse apply that touched it.
+// A reader that synchronised at timestamp s only needs to visit blocks whose
+// version exceeds s — for sparse update streams that is a small fraction of
+// the model, which turns a full-model scan into an O(changed) one.
+
+// DefaultBlockShift gives 1024-element blocks: coarse enough that the
+// version array is negligible (one uint64 per 4 KiB of parameters), fine
+// enough that a sparse push dirties only the neighbourhoods it touched.
+const DefaultBlockShift = 10
+
+// NumBlocks returns how many 2^shift-element blocks cover n elements.
+func NumBlocks(n int, shift uint) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + (1 << shift) - 1) >> shift
+}
+
+// BlockSpan returns the [lo, hi) element range of block b within a layer of
+// n elements.
+func BlockSpan(b int, shift uint, n int) (lo, hi int) {
+	lo = b << shift
+	hi = lo + (1 << shift)
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// MarkBlocks stamps the blocks containing the given (ascending) element
+// indices with version stamp. Runs of indices inside one block collapse to a
+// single store, so the cost is O(distinct blocks), not O(nnz).
+func MarkBlocks(ver []uint64, idx []int32, stamp uint64, shift uint) {
+	last := -1
+	for _, j := range idx {
+		b := int(j) >> shift
+		if b != last {
+			ver[b] = stamp
+			last = b
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package sparse
+
+import "testing"
+
+func TestNumBlocks(t *testing.T) {
+	cases := []struct {
+		n     int
+		shift uint
+		want  int
+	}{
+		{0, 10, 0},
+		{1, 10, 1},
+		{1024, 10, 1},
+		{1025, 10, 2},
+		{4096, 10, 4},
+		{4097, 10, 5},
+		{7, 2, 2},
+		{-3, 10, 0},
+	}
+	for _, c := range cases {
+		if got := NumBlocks(c.n, c.shift); got != c.want {
+			t.Errorf("NumBlocks(%d, %d) = %d, want %d", c.n, c.shift, got, c.want)
+		}
+	}
+}
+
+func TestBlockSpan(t *testing.T) {
+	// Layer of 10 elements, 4-element blocks: [0,4) [4,8) [8,10).
+	spans := [][2]int{{0, 4}, {4, 8}, {8, 10}}
+	for b, want := range spans {
+		lo, hi := BlockSpan(b, 2, 10)
+		if lo != want[0] || hi != want[1] {
+			t.Errorf("BlockSpan(%d) = [%d,%d), want [%d,%d)", b, lo, hi, want[0], want[1])
+		}
+	}
+}
+
+func TestMarkBlocks(t *testing.T) {
+	ver := make([]uint64, NumBlocks(40, 3)) // 5 blocks of 8
+	MarkBlocks(ver, []int32{0, 1, 7, 8, 25, 39}, 7, 3)
+	want := []uint64{7, 7, 0, 7, 7}
+	for b := range ver {
+		if ver[b] != want[b] {
+			t.Errorf("ver[%d] = %d, want %d", b, ver[b], want[b])
+		}
+	}
+	// A later stamp overwrites only the blocks it touches.
+	MarkBlocks(ver, []int32{16}, 9, 3)
+	if ver[2] != 9 || ver[0] != 7 {
+		t.Errorf("restamp: ver = %v", ver)
+	}
+}

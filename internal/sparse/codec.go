@@ -114,8 +114,11 @@ func DecodeInto(u *Update, b []byte) error {
 		return fmt.Errorf("sparse: truncated chunk count")
 	}
 	off += n
-	if nChunks > uint64(len(b)) {
-		return fmt.Errorf("sparse: implausible chunk count %d", nChunks)
+	// Every chunk costs at least 3 bytes (layer uvarint, flags, nnz
+	// uvarint), so the remaining payload bounds the plausible chunk count —
+	// a malformed frame cannot coerce a huge Chunks allocation.
+	if nChunks > uint64(len(b)-off)/3 {
+		return fmt.Errorf("sparse: implausible chunk count %d for %d remaining bytes", nChunks, len(b)-off)
 	}
 	u.Chunks = u.Chunks[:0]
 	for ci := uint64(0); ci < nChunks; ci++ {
@@ -134,8 +137,16 @@ func DecodeInto(u *Update, b []byte) error {
 			return fmt.Errorf("sparse: truncated nnz in chunk %d", ci)
 		}
 		off += n
-		if nnz > uint64(len(b)) {
-			return fmt.Errorf("sparse: implausible nnz %d in chunk %d", nnz, ci)
+		// Bound nnz by the bytes actually left: each value costs 4 bytes and
+		// each delta-encoded index at least 1, so a truncated or hostile
+		// frame is rejected before the Idx/Val allocations below, not after.
+		rem := uint64(len(b) - off)
+		perEntry := uint64(5)
+		if flags&flagDense != 0 {
+			perEntry = 4 // dense chunks omit the index bytes
+		}
+		if nnz > rem/perEntry {
+			return fmt.Errorf("sparse: implausible nnz %d in chunk %d (%d bytes remaining)", nnz, ci, rem)
 		}
 		c := u.NextChunk()
 		c.Layer = int(layer)

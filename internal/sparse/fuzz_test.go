@@ -22,23 +22,59 @@ func FuzzDecode(f *testing.F) {
 	corrupted := append([]byte(nil), valid...)
 	corrupted[len(corrupted)/2] ^= 0xFF
 	f.Add(corrupted)
+	// Hostile small frames claiming huge element counts: the decoder must
+	// bound nnz and the chunk count by the bytes actually remaining instead
+	// of allocating first. A 20-byte frame must never trigger a giant make.
+	hugeNNZ := []byte{0x31, 0x53, 0x47, 0x44, // magic (little endian "DGS1")
+		0x01,                         // one chunk
+		0x00,                         // layer 0
+		0x00,                         // flags: sparse
+		0xFF, 0xFF, 0xFF, 0xFF, 0x7F, // nnz ≈ 34 billion
+		0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00} // 8 leftover bytes
+	f.Add(hugeNNZ)
+	hugeDense := append([]byte(nil), hugeNNZ...)
+	hugeDense[6] = 0x01 // flags: dense — values alone would still be ~128 GiB
+	f.Add(hugeDense)
+	f.Add([]byte{0x31, 0x53, 0x47, 0x44, 0xFF, 0xFF, 0xFF, 0x7F}) // huge chunk count, empty body
 
 	f.Fuzz(func(t *testing.T, b []byte) {
-		u, err := Decode(b)
-		if err != nil {
-			return
-		}
-		// Round-trip stability for accepted inputs.
-		re := Encode(u)
-		u2, err := Decode(re)
-		if err != nil {
-			t.Fatalf("re-encode of accepted input failed to decode: %v", err)
-		}
-		if len(u2.Chunks) != len(u.Chunks) {
-			t.Fatalf("chunk count changed across round trip")
-		}
-		if !bytes.Equal(re, Encode(u2)) {
-			t.Fatal("encoding not a fixpoint")
-		}
+		checkDecode(t, b)
 	})
+}
+
+// TestDecodeRejectsImplausibleCounts pins the hostile-frame behaviour down
+// as a plain test (the fuzz seeds above only assert "no panic"): small
+// frames claiming huge nnz or chunk counts must be rejected with an error,
+// not answered with a multi-gigabyte allocation.
+func TestDecodeRejectsImplausibleCounts(t *testing.T) {
+	frames := [][]byte{
+		{0x31, 0x53, 0x47, 0x44, 0x01, 0x00, 0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0, 0, 0, 0, 0},
+		{0x31, 0x53, 0x47, 0x44, 0x01, 0x00, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0, 0, 0, 0, 0},
+		{0x31, 0x53, 0x47, 0x44, 0xFF, 0xFF, 0xFF, 0x7F},
+	}
+	for i, b := range frames {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("frame %d: hostile %d-byte frame decoded without error", i, len(b))
+		}
+	}
+}
+
+// checkDecode is the fuzz body: anything the decoder accepts must round-trip
+// through the encoder to a stable fixpoint.
+func checkDecode(t *testing.T, b []byte) {
+	u, err := Decode(b)
+	if err != nil {
+		return
+	}
+	re := Encode(u)
+	u2, err := Decode(re)
+	if err != nil {
+		t.Fatalf("re-encode of accepted input failed to decode: %v", err)
+	}
+	if len(u2.Chunks) != len(u.Chunks) {
+		t.Fatalf("chunk count changed across round trip")
+	}
+	if !bytes.Equal(re, Encode(u2)) {
+		t.Fatal("encoding not a fixpoint")
+	}
 }
