@@ -38,6 +38,7 @@ bench:
 	go run ./cmd/dgs-bench -microbench -benchtime $(BENCHTIME)
 	go run ./cmd/dgs-bench -pipebench
 	go run ./cmd/dgs-bench -serverbench
+	go run ./cmd/dgs-bench -ckptbench
 	$(MAKE) bench-paper PAPER_BENCHTIME=$(PAPER_BENCHTIME)
 
 # The paper benchmarks run full (short-scale) training per artefact, so the
@@ -59,6 +60,8 @@ PIPE_SMOKE_STEPS ?= 60
 PIPE_SMOKE_OUT ?= pipe-smoke.json
 SERVER_SMOKE_PUSHES ?= 32
 SERVER_SMOKE_OUT ?= server-smoke.json
+CKPT_SMOKE_PUSHES ?= 64
+CKPT_SMOKE_OUT ?= ckpt-smoke.json
 
 bench-smoke:
 	go run ./cmd/dgs-bench -microbench -benchtime $(SMOKE_BENCHTIME) -json $(SMOKE_OUT)
@@ -67,3 +70,5 @@ bench-smoke:
 	go run ./cmd/dgs-benchdiff -pipeline -baseline BENCH_PR4.json -current $(PIPE_SMOKE_OUT)
 	go run ./cmd/dgs-bench -serverbench -server-pushes $(SERVER_SMOKE_PUSHES) -json $(SERVER_SMOKE_OUT)
 	go run ./cmd/dgs-benchdiff -server -baseline BENCH_PR5.json -current $(SERVER_SMOKE_OUT)
+	go run ./cmd/dgs-bench -ckptbench -server-pushes $(CKPT_SMOKE_PUSHES) -json $(CKPT_SMOKE_OUT)
+	go run ./cmd/dgs-benchdiff -checkpoint -baseline BENCH_PR6.json -current $(CKPT_SMOKE_OUT)

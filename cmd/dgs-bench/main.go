@@ -39,7 +39,8 @@ func main() {
 		micro      = flag.Bool("microbench", false, "run the tracked microbenchmarks and write a JSON report")
 		pipe       = flag.Bool("pipebench", false, "run the pipelined-exchange benchmark and write a JSON report")
 		server     = flag.Bool("serverbench", false, "run the many-worker server saturation benchmark and write a JSON report")
-		microOut   = flag.String("json", "", "report path (default BENCH_PR2.json for -microbench, BENCH_PR4.json for -pipebench, BENCH_PR5.json for -serverbench)")
+		ckpt       = flag.Bool("ckptbench", false, "run the checkpoint capture/interference benchmark and write a JSON report")
+		microOut   = flag.String("json", "", "report path (default BENCH_PR2.json for -microbench, BENCH_PR4.json for -pipebench, BENCH_PR5.json for -serverbench, BENCH_PR6.json for -ckptbench)")
 		benchtime  = flag.String("benchtime", "", "per-benchmark time or count for -microbench (e.g. 1s, 100x)")
 		pipeSteps  = flag.Int("pipe-steps", 0, "measured steps per pipelined run (0 = default 240)")
 		pipeRTT    = flag.Duration("pipe-rtt", 0, "simulated round-trip time (0 = auto-calibrated from compute)")
@@ -105,6 +106,17 @@ func main() {
 			path = "BENCH_PR5.json"
 		}
 		if err := runServer(path, *serverPush); err != nil {
+			fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ckpt {
+		path := *microOut
+		if path == "" {
+			path = "BENCH_PR6.json"
+		}
+		if err := runCkpt(path, *serverPush); err != nil {
 			fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -209,6 +221,32 @@ func runServer(path string, pushesPerWorker int) error {
 		return err
 	}
 	fmt.Printf("[server report written to %s]\n", path)
+	return nil
+}
+
+func runCkpt(path string, pushesPerWorker int) error {
+	if pushesPerWorker <= 0 {
+		pushesPerWorker = 256
+	}
+	rep, err := bench.RunCkpt(pushesPerWorker)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %d bytes, block size %d, %d workers\n", rep.ModelBytes, rep.BlockSize, rep.Workers)
+	fmt.Printf("capture: full %.0f µs, incremental %.0f µs = %.2fx (%.1f%% blocks skipped)\n",
+		rep.FullCaptureMicros, rep.IncrCaptureMicros, rep.IncrementalSpeedup, 100*rep.SkipRatio)
+	fmt.Printf("encode: %d bytes in %.0f µs\n", rep.EncodedBytes, rep.EncodeMicros)
+	fmt.Printf("push interference: %.0f/s alone, %.0f/s under checkpointing = %.2f retained (%d captures)\n",
+		rep.PushesPerSecBaseline, rep.PushesPerSecCkpt, rep.PushThroughputRatio, rep.CapturesDuringRun)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[checkpoint report written to %s]\n", path)
 	return nil
 }
 

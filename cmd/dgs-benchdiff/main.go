@@ -170,6 +170,47 @@ func diffServer(baseline, current *bench.ServerReport, minSpeedup float64) []str
 	return problems
 }
 
+// diffCkpt gates the checkpoint report. All three quantities are within-run
+// ratios, so the floors are absolute and portable; the committed baseline
+// must itself satisfy them so a stale tracked file fails loudly here.
+func diffCkpt(baseline, current *bench.CkptReport, minIncr, minSkip, minRetained float64) []string {
+	var problems []string
+	check := func(rep *bench.CkptReport, name string) {
+		if rep.IncrementalSpeedup < minIncr {
+			problems = append(problems, fmt.Sprintf(
+				"%s: incremental capture %.2fx vs full, below floor %.2fx (dirty tracking not paying off)",
+				name, rep.IncrementalSpeedup, minIncr))
+		}
+		if rep.SkipRatio < minSkip {
+			problems = append(problems, fmt.Sprintf(
+				"%s: steady-state skip ratio %.2f below floor %.2f", name, rep.SkipRatio, minSkip))
+		}
+		if rep.PushThroughputRatio < minRetained {
+			problems = append(problems, fmt.Sprintf(
+				"%s: only %.2f of push throughput retained under checkpointing, floor %.2f",
+				name, rep.PushThroughputRatio, minRetained))
+		}
+		if rep.EncodedBytes <= 0 {
+			problems = append(problems, fmt.Sprintf("%s: empty encoded checkpoint", name))
+		}
+	}
+	check(baseline, "baseline")
+	check(current, "current")
+	return problems
+}
+
+func loadCkpt(path string) (*bench.CkptReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.CkptReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
 func loadServer(path string) (*bench.ServerReport, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -216,11 +257,31 @@ func main() {
 		minPipeline  = flag.Float64("min-pipeline-speedup", 1.3, "pipelined-vs-sync steps/sec floor (with -pipeline)")
 		server       = flag.Bool("server", false, "diff server saturation reports (dgs-bench -serverbench) instead of microbench reports")
 		minServer    = flag.Float64("min-server-speedup", 2.0, "8-worker pushes/sec floor vs the single-mutex baseline (with -server)")
+		ckpt         = flag.Bool("checkpoint", false, "diff checkpoint reports (dgs-bench -ckptbench) instead of microbench reports")
+		minIncr      = flag.Float64("min-incremental-speedup", 2.0, "incremental-vs-full capture floor (with -checkpoint)")
+		minSkip      = flag.Float64("min-skip-ratio", 0.5, "steady-state dirty-block skip floor (with -checkpoint)")
+		minRetained  = flag.Float64("min-push-retained", 0.5, "push throughput retained under concurrent checkpointing (with -checkpoint)")
 	)
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "dgs-benchdiff: -current is required")
 		os.Exit(2)
+	}
+	if *ckpt {
+		baseline, err := loadCkpt(*baselinePath)
+		fatalIf(err)
+		current, err := loadCkpt(*currentPath)
+		fatalIf(err)
+		problems := diffCkpt(baseline, current, *minIncr, *minSkip, *minRetained)
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "dgs-benchdiff: FAIL:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("dgs-benchdiff: OK (incremental capture %.2fx vs full, %.0f%% blocks skipped, %.2f push throughput retained)\n",
+			current.IncrementalSpeedup, 100*current.SkipRatio, current.PushThroughputRatio)
+		return
 	}
 	if *server {
 		baseline, err := loadServer(*baselinePath)

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"dgs/internal/checkpoint"
 	"dgs/internal/nn"
 	"dgs/internal/ps"
 	"dgs/internal/telemetry"
@@ -24,6 +27,21 @@ import (
 	"dgs/internal/trainer"
 	"dgs/internal/transport"
 )
+
+// capturer is the slice of the server surface the checkpoint loop needs;
+// both ps.Server and ps.ShardedServer satisfy it.
+type capturer interface {
+	NewCaptureState() *checkpoint.State
+	Capture(*checkpoint.State) (checkpoint.CaptureStats, error)
+	Timestamp() uint64
+}
+
+func fatalIf(err error, what string) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dgs-server: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	var (
@@ -39,6 +57,13 @@ func main() {
 		blockSize = flag.Int("block-size", 0, "dirty-tracking block size in elements (power of two; 0 = default 1024)")
 		statEvery = flag.Duration("stats", 10*time.Second, "stats print interval")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-exchange deadline (0 disables)")
+
+		ckptDir      = flag.String("checkpoint-dir", "", "directory for crash-recovery checkpoints (empty disables; restores the latest on start)")
+		ckptEvery    = flag.Duration("checkpoint-interval", 30*time.Second, "asynchronous checkpoint interval")
+		ckptKeep     = flag.Int("checkpoint-keep", 3, "checkpoints retained on disk")
+		maxInflight  = flag.Int("max-inflight", 0, "admission bound on concurrently executing pushes (0 = unbounded); excess pushes get a RetryAfter frame")
+		retryHint    = flag.Duration("retry-hint", 5*time.Millisecond, "backoff hint attached to overload rejections")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM before exiting anyway")
 
 		metrics       = flag.String("metrics", "127.0.0.1:9090", "telemetry HTTP address for /metrics, /manifest and /debug/pprof (empty disables)")
 		manifestPath  = flag.String("manifest", "", "periodically write the JSON run manifest to this file")
@@ -68,17 +93,47 @@ func main() {
 		DenseDownward:  *denseDown,
 		BlockShift:     shift,
 	}
+	// Restart recovery: when a checkpoint directory is configured and holds
+	// a readable snapshot, the server resumes from it instead of θ0 — the
+	// session layer's fresh incarnation id then makes every reconnecting
+	// worker detect the restart and resync.
 	var server ps.Pusher
-	if *shards > 1 {
-		server = ps.NewShardedServer(cfg, *shards)
-	} else {
-		server = ps.NewServer(cfg)
+	var capSrv capturer
+	restored := ""
+	if *ckptDir != "" {
+		if st, path, err := checkpoint.LoadLatest(*ckptDir); err == nil {
+			if *shards > 1 {
+				s, rerr := ps.RestoreShardedServer(cfg, *shards, st)
+				fatalIf(rerr, "restore "+path)
+				server, capSrv = s, s
+			} else {
+				s, rerr := ps.RestoreServer(cfg, st)
+				fatalIf(rerr, "restore "+path)
+				server, capSrv = s, s
+			}
+			restored = path
+		} else if !errors.Is(err, checkpoint.ErrNoCheckpoint) {
+			fatalIf(err, "load checkpoint")
+		}
+	}
+	if server == nil {
+		if *shards > 1 {
+			s := ps.NewShardedServer(cfg, *shards)
+			server, capSrv = s, s
+		} else {
+			s := ps.NewServer(cfg)
+			server, capSrv = s, s
+		}
 	}
 	// The exactly-once session layer makes worker retries safe (replayed
 	// pushes answer from cache instead of re-applying) and resyncs
-	// crashed-and-rejoined workers with a dense snapshot.
+	// crashed-and-rejoined workers with a dense snapshot. The admission
+	// gate sits outside it so shed pushes never consume session state.
 	eo := trainer.ExactlyOnceHandler(server)
-	srv, err := transport.ListenTCP(*addr, eo.Handle)
+	gate := transport.NewGate(eo.Handle, *maxInflight)
+	gate.RetryHint = *retryHint
+	gate.DrainHint = *drainTimeout
+	srv, err := transport.ListenTCP(*addr, gate.Handle)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dgs-server:", err)
 		os.Exit(1)
@@ -87,6 +142,71 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("dgs-server: listening on %s (%d params, %d workers, %d shard(s), secondary=%v)\n",
 		srv.Addr(), model.NumParams(), *workers, *shards, *secondary)
+	if restored != "" {
+		fmt.Printf("dgs-server: restored state from %s (t=%d)\n", restored, capSrv.Timestamp())
+	}
+
+	// Asynchronous checkpointing: a dedicated goroutine captures a
+	// consistent cut (incremental — only blocks dirtied since the previous
+	// capture are copied) and writes it atomically, entirely off the push
+	// path. finalCkpt is reused by the drain path for the shutdown snapshot.
+	var ckptWriter *checkpoint.Writer
+	var capState *checkpoint.State
+	stopCkpt := make(chan struct{})
+	ckptDone := make(chan struct{})
+	close(ckptDone)
+	finalCkpt := func(what string) {
+		if ckptWriter == nil {
+			return
+		}
+		if _, err := capSrv.Capture(capState); err != nil {
+			fmt.Fprintf(os.Stderr, "dgs-server: %s capture: %v\n", what, err)
+			return
+		}
+		path, err := ckptWriter.Write(capState)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dgs-server: %s write: %v\n", what, err)
+			return
+		}
+		fmt.Printf("dgs-server: %s checkpoint %s (t=%d)\n", what, path, capSrv.Timestamp())
+	}
+	if *ckptDir != "" {
+		ckptWriter = &checkpoint.Writer{Dir: *ckptDir, Keep: *ckptKeep}
+		capState = capSrv.NewCaptureState()
+		ckptDone = make(chan struct{})
+		go func() {
+			defer close(ckptDone)
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			var lastT uint64
+			wrote := false
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-tick.C:
+					stats, err := capSrv.Capture(capState)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "dgs-server: checkpoint capture: %v\n", err)
+						continue
+					}
+					// An idle server would otherwise rewrite an identical
+					// file every interval; skip until something changes.
+					t := capSrv.Timestamp()
+					if wrote && stats.BlocksCopied == 0 && t == lastT {
+						continue
+					}
+					if _, err := ckptWriter.Write(capState); err != nil {
+						fmt.Fprintf(os.Stderr, "dgs-server: checkpoint write: %v\n", err)
+						continue
+					}
+					lastT, wrote = t, true
+					fmt.Printf("dgs-server: checkpoint t=%d (%d blocks copied, %d skipped, %d bytes)\n",
+						t, stats.BlocksCopied, stats.BlocksSkipped, stats.Bytes)
+				}
+			}
+		}()
+	}
 
 	manifest := telemetry.NewManifest(nil)
 	manifest.Set("role", "server")
@@ -128,7 +248,20 @@ func main() {
 			fmt.Printf("dgs-server: pushes=%d staleness(mean=%.2f max=%d) traffic(up=%dKB down=%dKB) sessions(joins=%d replays=%d stale=%d resyncs=%d)\n",
 				st.Pushes, mean, st.MaxStaleness, srv.Traffic.Up()/1000, srv.Traffic.Down()/1000,
 				ss.Hellos, ss.Replays, ss.StaleRejected, st.Resyncs)
-		case <-sig:
+		case s := <-sig:
+			// Graceful drain: stop admitting pushes (workers get RetryAfter
+			// and back off), let in-flight ones finish, stop the periodic
+			// checkpointer, take the final snapshot, exit. Eq. 5 holds in
+			// the snapshot because nothing is mid-apply once Drain returns.
+			fmt.Printf("dgs-server: %v — draining\n", s)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			if err := gate.Drain(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "dgs-server: drain incomplete: %v\n", err)
+			}
+			cancel()
+			close(stopCkpt)
+			<-ckptDone
+			finalCkpt("final")
 			fmt.Println("dgs-server: shutting down")
 			return
 		}

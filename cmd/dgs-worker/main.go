@@ -52,6 +52,8 @@ func main() {
 		pipeline = flag.Int("pipeline", 1, "in-flight exchanges (1 = synchronous, >1 overlaps comm with compute)")
 
 		retries    = flag.Int("retries", 8, "reconnect retries per exchange")
+		backoff    = flag.Duration("backoff", 50*time.Millisecond, "base of the full-jitter exponential retry backoff")
+		maxBackoff = flag.Duration("max-backoff", 2*time.Second, "cap on the retry backoff (0 = uncapped)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-exchange deadline (0 disables)")
 		rejoins    = flag.Int("rejoins", 0, "crash-recovery budget: restart the loop as a fresh incarnation this many times")
 		faultDrop  = flag.Float64("fault-drop", 0, "inject: P(request dropped before send)")
@@ -143,6 +145,8 @@ func main() {
 			return c, nil
 		})
 		rc.MaxRetries = *retries
+		rc.Backoff = *backoff
+		rc.MaxBackoff = *maxBackoff
 		return transport.NewSessionClient(rc), nil
 	}
 

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dgs/internal/checkpoint"
+	"dgs/internal/ps"
+	"dgs/internal/tensor"
+)
+
+// CkptReport is the checkpoint-throughput benchmark serialised to
+// BENCH_PR6.json. Raw capture times are machine-bound, so the gated
+// quantities are within-run ratios (both sides measured in the same
+// process, on the same state):
+//
+//   - IncrementalSpeedup: a steady-state incremental capture against a full
+//     re-copy of the same state. Dirty-block tracking exists to make this
+//     large on sparse workloads; the gate floors it.
+//   - SkipRatio: the fraction of blocks the incremental capture proved
+//     clean and skipped — machine-independent by construction.
+//   - PushThroughputRatio: pushes/sec with a concurrent checkpoint loop
+//     over pushes/sec without one. Asynchronous checkpointing must not
+//     gut the push path; the gate floors the retained fraction.
+type CkptReport struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	BlockSize  int    `json:"block_size"`
+	Workers    int    `json:"workers"`
+
+	ModelBytes           int     `json:"model_bytes"`
+	FullCaptureMicros    float64 `json:"full_capture_micros"`
+	IncrCaptureMicros    float64 `json:"incr_capture_micros"`
+	IncrementalSpeedup   float64 `json:"incremental_speedup"`
+	SkipRatio            float64 `json:"skip_ratio"`
+	EncodedBytes         int     `json:"encoded_bytes"`
+	EncodeMicros         float64 `json:"encode_micros"`
+	PushesPerSecBaseline float64 `json:"pushes_per_sec_baseline"`
+	PushesPerSecCkpt     float64 `json:"pushes_per_sec_with_checkpointing"`
+	PushThroughputRatio  float64 `json:"push_throughput_ratio"`
+	CapturesDuringRun    int     `json:"captures_during_run"`
+}
+
+// ckptCaptureRounds is how many capture measurements are averaged per cell;
+// a single capture of this geometry is tens of microseconds, too noisy on
+// its own.
+const ckptCaptureRounds = 32
+
+// RunCkpt measures checkpoint capture cost and its interference with the
+// push path on the embed workload (the sparse, block-aligned access pattern
+// dirty tracking targets).
+func RunCkpt(pushesPerWorker int) (*CkptReport, error) {
+	const workers = 4
+	rng := tensor.NewRNG(7)
+	sizes := embedLayerSizes()
+	updates := embedUpdates(rng, workers, 8)
+	srv := ps.NewServer(ps.Config{LayerSizes: sizes, Workers: workers})
+
+	rep := &CkptReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		BlockSize:  1 << 10,
+		Workers:    workers,
+	}
+	for _, n := range sizes {
+		rep.ModelBytes += 4 * n
+	}
+
+	// Dirty a realistic fraction of the model before the first capture.
+	for k := 0; k < workers; k++ {
+		for i := 0; i < 16; i++ {
+			srv.Push(k, &updates[k][i%len(updates[k])])
+		}
+	}
+
+	// Full captures: a fresh State each time copies every live block.
+	var fullTotal time.Duration
+	for r := 0; r < ckptCaptureRounds; r++ {
+		st := srv.NewCaptureState()
+		t0 := time.Now()
+		if _, err := srv.Capture(st); err != nil {
+			return nil, err
+		}
+		fullTotal += time.Since(t0)
+	}
+	rep.FullCaptureMicros = float64(fullTotal) / float64(ckptCaptureRounds) / float64(time.Microsecond)
+
+	// Steady-state incremental captures: one push batch between captures,
+	// so each capture copies only the blocks that batch dirtied.
+	inc := srv.NewCaptureState()
+	if _, err := srv.Capture(inc); err != nil {
+		return nil, err
+	}
+	var incTotal time.Duration
+	var copied, skipped uint64
+	for r := 0; r < ckptCaptureRounds; r++ {
+		for k := 0; k < workers; k++ {
+			srv.Push(k, &updates[k][r%len(updates[k])])
+		}
+		t0 := time.Now()
+		stats, err := srv.Capture(inc)
+		if err != nil {
+			return nil, err
+		}
+		incTotal += time.Since(t0)
+		copied += stats.BlocksCopied
+		skipped += stats.BlocksSkipped
+	}
+	rep.IncrCaptureMicros = float64(incTotal) / float64(ckptCaptureRounds) / float64(time.Microsecond)
+	if rep.IncrCaptureMicros > 0 {
+		rep.IncrementalSpeedup = rep.FullCaptureMicros / rep.IncrCaptureMicros
+	}
+	if copied+skipped > 0 {
+		rep.SkipRatio = float64(skipped) / float64(copied+skipped)
+	}
+
+	t0 := time.Now()
+	blob := checkpoint.Encode(inc)
+	rep.EncodeMicros = float64(time.Since(t0)) / float64(time.Microsecond)
+	rep.EncodedBytes = len(blob)
+
+	// Interference: the same saturation loop with and without a concurrent
+	// periodic capture-and-encode goroutine (the asynchronous checkpointer's
+	// work, minus the disk). The interval mimics an aggressive deployment —
+	// continuous back-to-back checkpointing would measure a configuration
+	// nobody runs.
+	base, _ := runSaturation(srv, updates, workers, pushesPerWorker)
+	rep.PushesPerSecBaseline = base
+
+	stop := make(chan struct{})
+	var captures atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		st := srv.NewCaptureState()
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			if _, err := srv.Capture(st); err != nil {
+				return
+			}
+			checkpoint.Encode(st)
+			captures.Add(1)
+		}
+	}()
+	withCkpt, _ := runSaturation(srv, updates, workers, pushesPerWorker)
+	close(stop)
+	wg.Wait()
+	rep.PushesPerSecCkpt = withCkpt
+	rep.CapturesDuringRun = int(captures.Load())
+	if base > 0 {
+		rep.PushThroughputRatio = withCkpt / base
+	}
+	return rep, nil
+}

@@ -1,0 +1,766 @@
+// Package checkpoint implements the parameter server's crash-safe on-disk
+// snapshot format (DESIGN.md §12). A checkpoint captures everything the DGS
+// exchange protocol cannot reconstruct after a server crash: the update
+// accumulation M (Eq. 2), every worker's sent-accumulation v_k together with
+// its staleness baseline, dirty-tracking horizon and incarnation epoch, the
+// per-block version stamps and residual bitmaps that make the PR-5 diff
+// skipping exact, and the logical clock t. Restoring that state (ps.Restore*)
+// yields a server whose subsequent exchanges are bitwise-identical to the
+// one that crashed, so the Eq. 5 drain invariant (v_k == M) survives a full
+// kill/restart cycle.
+//
+// # File format
+//
+// Little endian throughout. A file is a header followed by a stream of
+// CRC-framed sections and a terminating end section:
+//
+//	u32 magic "DGSK" | u32 format version | u32 header length |
+//	header bytes | u32 CRC-32C(header bytes)
+//
+//	section: u8 kind | u32 shard | u32 worker | u32 layer |
+//	         u32 payload length | payload | u32 CRC-32C(section)
+//
+// The header records the snapshot identity (server incarnation, checkpoint
+// sequence number, wall-clock time) and the full model geometry (workers,
+// block shift, per-layer sizes and shard placement), so a decoder can
+// bounds-check every section against the expected geometry before touching
+// its payload. The end section carries the section count, which makes
+// truncation after a valid section detectable. Every length field is checked
+// against the bytes actually remaining before any allocation — a hostile or
+// torn file fails cleanly instead of provoking huge allocations or reads
+// past the buffer (mirroring the sparse.DecodeInto hardening).
+//
+// # Atomicity
+//
+// Write encodes into a temp file in the target directory, syncs it, renames
+// it over the final name and syncs the directory. A crash mid-write leaves
+// at most a stale temp file; the previous checkpoint is never damaged.
+// LoadLatest scans for the highest-sequence file that decodes cleanly, so
+// even a corrupted latest file (torn disk write, bit rot caught by CRC)
+// falls back to the one before it.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dgs/internal/telemetry"
+)
+
+// Magic and version of the on-disk format.
+const (
+	fileMagic     = 0x4B534744 // "DGSK" little endian
+	formatVersion = 1
+)
+
+// Section kinds. Every kind's payload size is fully determined by the
+// header geometry, which is what lets Decode bounds-check before reading.
+const (
+	secShardMeta  = 1 // per shard: u64 t | u64 capturedT
+	secMLayer     = 2 // per (shard, layer): the layer of M, 4 bytes/coord
+	secMVerLayer  = 3 // per (shard, layer): block version stamps, 8 bytes/block
+	secWorkerMeta = 4 // per (shard, worker): u64 prev | u64 syncVer | u64 epoch
+	secVLayer     = 5 // per (shard, worker, layer): the layer of v_k
+	secResidLayer = 6 // per (shard, worker, layer): residual bitmap words
+	secEnd        = 7 // u64 section count (including this one)
+)
+
+// ErrNoCheckpoint is returned by LoadLatest when the directory holds no
+// decodable checkpoint.
+var ErrNoCheckpoint = errors.New("checkpoint: no valid checkpoint found")
+
+// crcTable is the Castagnoli polynomial table shared by encode and decode.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WorkerState is one worker's server-side exchange state within a shard.
+type WorkerState struct {
+	// Prev is the shard timestamp at the worker's last exchange (staleness
+	// baseline) and SyncVer its dirty-tracking horizon.
+	Prev, SyncVer uint64
+	// Epoch is the worker's incarnation counter. Persisting it keeps epoch
+	// fencing monotone across server restarts.
+	Epoch uint64
+	// V is the sent-accumulation v_k, one slice per shard-local layer.
+	V [][]float32
+	// Resid is the per-layer residual bitmap (one bit per dirty-tracking
+	// block where float rounding left v_k ≠ M).
+	Resid [][]uint64
+}
+
+// ShardState is one shard's complete model state. An unsharded server is a
+// single shard owning every layer.
+type ShardState struct {
+	// T is the shard's logical clock (number of updates applied).
+	T uint64
+	// CapturedT is the horizon of the capture that produced this state:
+	// blocks whose version stamp is ≤ CapturedT are already faithfully in M
+	// and V, which is what makes the next capture incremental.
+	CapturedT uint64
+	// Layers lists the global layer ids this shard owns, in shard-local
+	// order; Sizes are their element counts.
+	Layers []int
+	Sizes  []int
+	// M is the shard's update accumulation, MVer its per-block version
+	// stamps.
+	M    [][]float32
+	MVer [][]uint64
+	// Workers holds every worker's exchange state against this shard.
+	Workers []WorkerState
+}
+
+// State is a complete server snapshot.
+type State struct {
+	// Incarnation identifies the server process that wrote the snapshot.
+	Incarnation uint64
+	// Seq is the checkpoint sequence number; it orders files on disk.
+	// Writer.Write maintains it: each write gets a fresh sequence, resuming
+	// past whatever files already exist in the directory, so checkpoints
+	// never overwrite each other across process restarts. A caller may
+	// pre-set a higher value to skip ahead; lower values are ignored.
+	Seq uint64
+	// WallNano is the wall-clock capture time (UnixNano).
+	WallNano int64
+	// NumWorkers and BlockShift echo the server configuration; Restore
+	// validates them against the target's geometry.
+	NumWorkers int
+	BlockShift uint
+	// Shards holds one entry per server shard.
+	Shards []ShardState
+}
+
+// NumLayers returns the total global layer count across shards.
+func (st *State) NumLayers() int {
+	n := 0
+	for i := range st.Shards {
+		n += len(st.Shards[i].Layers)
+	}
+	return n
+}
+
+// CaptureStats reports what one incremental capture copied. BlocksCopied
+// counts dirty-tracking blocks (of M and of every v_k) whose payload was
+// copied into the State; BlocksSkipped counts blocks proved unchanged since
+// the previous capture and left as-is. Their ratio is the fraction of
+// full-snapshot work the version stamps eliminated.
+type CaptureStats struct {
+	BlocksCopied  uint64
+	BlocksSkipped uint64
+	// Bytes is the approximate payload size copied (4 bytes per copied
+	// model coordinate, M and v_k both).
+	Bytes uint64
+}
+
+// Add accumulates another capture's counters (used by sharded captures).
+func (c *CaptureStats) Add(o CaptureStats) {
+	c.BlocksCopied += o.BlocksCopied
+	c.BlocksSkipped += o.BlocksSkipped
+	c.Bytes += o.Bytes
+}
+
+// met holds the package's telemetry handles (DESIGN.md §9 conventions:
+// resolved once, atomic updates only).
+var met = struct {
+	writeSeconds *telemetry.Histogram
+	bytesWritten *telemetry.Gauge
+	writes       *telemetry.Counter
+	copiedBlocks *telemetry.Counter
+	skipped      *telemetry.Counter
+}{}
+
+func init() {
+	reg := telemetry.Default()
+	met.writeSeconds = reg.Histogram("dgs_ps_checkpoint_seconds",
+		"Wall time of checkpoint encode+write+rename, per checkpoint.",
+		telemetry.DurationBuckets())
+	met.bytesWritten = reg.Gauge("dgs_ps_checkpoint_bytes",
+		"Size of the last checkpoint file written.")
+	met.writes = reg.Counter("dgs_ps_checkpoints_total",
+		"Checkpoint files written (atomic temp+rename cycles).")
+	met.copiedBlocks = reg.Counter("dgs_ps_checkpoint_blocks_copied_total",
+		"Dirty-tracking blocks copied by incremental captures.")
+	met.skipped = reg.Counter("dgs_ps_checkpoint_blocks_skipped_total",
+		"Dirty-tracking blocks proved unchanged and skipped by captures.")
+}
+
+// ObserveCapture feeds a capture's counters into telemetry. ps.Server calls
+// it from Capture; exposed here so the counters live next to the other
+// checkpoint metrics.
+func ObserveCapture(cs CaptureStats) {
+	met.copiedBlocks.Add(cs.BlocksCopied)
+	met.skipped.Add(cs.BlocksSkipped)
+}
+
+// Encode serialises st. The output decodes back with Decode; appendSection
+// frames every section with its own CRC.
+func Encode(st *State) []byte {
+	// Header.
+	hdr := make([]byte, 0, 64+16*st.NumLayers())
+	hdr = le64(hdr, st.Incarnation)
+	hdr = le64(hdr, st.Seq)
+	hdr = le64(hdr, uint64(st.WallNano))
+	hdr = le32(hdr, uint32(st.NumWorkers))
+	hdr = le32(hdr, uint32(st.BlockShift))
+	hdr = le32(hdr, uint32(len(st.Shards)))
+	nLayers := st.NumLayers()
+	hdr = le32(hdr, uint32(nLayers))
+	// Global layer table: size and owning shard for every global layer id.
+	// Layer ids must form exactly 0..nLayers-1 across shards.
+	sizes := make([]uint64, nLayers)
+	shardOf := make([]uint32, nLayers)
+	for sh := range st.Shards {
+		s := &st.Shards[sh]
+		for li, gl := range s.Layers {
+			sizes[gl] = uint64(s.Sizes[li])
+			shardOf[gl] = uint32(sh)
+		}
+	}
+	for gl := 0; gl < nLayers; gl++ {
+		hdr = le64(hdr, sizes[gl])
+		hdr = le32(hdr, shardOf[gl])
+	}
+
+	buf := make([]byte, 0, 12+len(hdr)+4+est(st))
+	buf = le32(buf, fileMagic)
+	buf = le32(buf, formatVersion)
+	buf = le32(buf, uint32(len(hdr)))
+	buf = append(buf, hdr...)
+	buf = le32(buf, crc32.Checksum(hdr, crcTable))
+
+	sections := uint64(0)
+	emit := func(kind byte, shard, worker, layer int, payload []byte) {
+		buf = appendSection(buf, kind, shard, worker, layer, payload)
+		sections++
+	}
+	var scratch []byte
+	for sh := range st.Shards {
+		s := &st.Shards[sh]
+		scratch = scratch[:0]
+		scratch = le64(scratch, s.T)
+		scratch = le64(scratch, s.CapturedT)
+		emit(secShardMeta, sh, 0, 0, scratch)
+		for li := range s.Layers {
+			emit(secMLayer, sh, 0, li, f32Bytes(&scratch, s.M[li]))
+			emit(secMVerLayer, sh, 0, li, u64Bytes(&scratch, s.MVer[li]))
+		}
+		for k := range s.Workers {
+			w := &s.Workers[k]
+			scratch = scratch[:0]
+			scratch = le64(scratch, w.Prev)
+			scratch = le64(scratch, w.SyncVer)
+			scratch = le64(scratch, w.Epoch)
+			emit(secWorkerMeta, sh, k, 0, scratch)
+			for li := range s.Layers {
+				emit(secVLayer, sh, k, li, f32Bytes(&scratch, w.V[li]))
+				emit(secResidLayer, sh, k, li, u64Bytes(&scratch, w.Resid[li]))
+			}
+		}
+	}
+	scratch = scratch[:0]
+	scratch = le64(scratch, sections+1)
+	buf = appendSection(buf, secEnd, 0, 0, 0, scratch)
+	return buf
+}
+
+// est approximates the encoded size for one up-front allocation.
+func est(st *State) int {
+	n := 0
+	for sh := range st.Shards {
+		s := &st.Shards[sh]
+		for li := range s.Layers {
+			n += 4*s.Sizes[li] + 8*len(s.MVer[li]) + 2*sectionOverhead
+		}
+		for range s.Workers {
+			n += 24 + sectionOverhead
+			for li := range s.Layers {
+				n += 4 * s.Sizes[li]
+				n += 8 * ((len(s.MVer[li]) + 63) / 64)
+				n += 2 * sectionOverhead
+			}
+		}
+		n += 16 + sectionOverhead
+	}
+	return n + sectionOverhead
+}
+
+const sectionOverhead = 1 + 4 + 4 + 4 + 4 + 4 // kind + shard + worker + layer + len + crc
+
+// appendSection frames one section: the CRC covers the section header and
+// payload, so a flipped byte anywhere in the section is caught.
+func appendSection(buf []byte, kind byte, shard, worker, layer int, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, kind)
+	buf = le32(buf, uint32(shard))
+	buf = le32(buf, uint32(worker))
+	buf = le32(buf, uint32(layer))
+	buf = le32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return le32(buf, crc32.Checksum(buf[start:], crcTable))
+}
+
+// Decode parses an encoded checkpoint, validating magic, version, CRCs,
+// geometry and every length field against the remaining bytes.
+func Decode(b []byte) (*State, error) {
+	if len(b) < 12 {
+		return nil, errors.New("checkpoint: file shorter than fixed header")
+	}
+	if binary.LittleEndian.Uint32(b) != fileMagic {
+		return nil, errors.New("checkpoint: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != formatVersion {
+		return nil, fmt.Errorf("checkpoint: format version %d unsupported", v)
+	}
+	hdrLen := int(binary.LittleEndian.Uint32(b[8:]))
+	if hdrLen < 0 || hdrLen > len(b)-16 {
+		return nil, fmt.Errorf("checkpoint: header length %d exceeds %d remaining bytes", hdrLen, len(b)-16)
+	}
+	hdr := b[12 : 12+hdrLen]
+	if crc32.Checksum(hdr, crcTable) != binary.LittleEndian.Uint32(b[12+hdrLen:]) {
+		return nil, errors.New("checkpoint: header CRC mismatch")
+	}
+	st, err := decodeHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	body := b[12+hdrLen+4:]
+	if err := decodeSections(st, body); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func decodeHeader(hdr []byte) (*State, error) {
+	const fixed = 8 + 8 + 8 + 4 + 4 + 4 + 4
+	if len(hdr) < fixed {
+		return nil, errors.New("checkpoint: truncated header")
+	}
+	st := &State{
+		Incarnation: binary.LittleEndian.Uint64(hdr),
+		Seq:         binary.LittleEndian.Uint64(hdr[8:]),
+		WallNano:    int64(binary.LittleEndian.Uint64(hdr[16:])),
+		NumWorkers:  int(binary.LittleEndian.Uint32(hdr[24:])),
+		BlockShift:  uint(binary.LittleEndian.Uint32(hdr[28:])),
+	}
+	nShards := int(binary.LittleEndian.Uint32(hdr[32:]))
+	nLayers := int(binary.LittleEndian.Uint32(hdr[36:]))
+	if st.NumWorkers < 1 || st.NumWorkers > 1<<20 {
+		return nil, fmt.Errorf("checkpoint: implausible worker count %d", st.NumWorkers)
+	}
+	if st.BlockShift == 0 || st.BlockShift > 30 {
+		return nil, fmt.Errorf("checkpoint: block shift %d out of (0,30]", st.BlockShift)
+	}
+	if nShards < 1 || nLayers < 1 || nShards > nLayers {
+		return nil, fmt.Errorf("checkpoint: implausible geometry (%d shards, %d layers)", nShards, nLayers)
+	}
+	// The layer table must fit the header exactly.
+	if len(hdr)-fixed != 12*nLayers {
+		return nil, fmt.Errorf("checkpoint: layer table is %d bytes, want %d for %d layers",
+			len(hdr)-fixed, 12*nLayers, nLayers)
+	}
+	st.Shards = make([]ShardState, nShards)
+	off := fixed
+	for gl := 0; gl < nLayers; gl++ {
+		size := binary.LittleEndian.Uint64(hdr[off:])
+		shard := int(binary.LittleEndian.Uint32(hdr[off+8:]))
+		off += 12
+		if size > 1<<31 {
+			return nil, fmt.Errorf("checkpoint: layer %d size %d implausible", gl, size)
+		}
+		if shard < 0 || shard >= nShards {
+			return nil, fmt.Errorf("checkpoint: layer %d assigned to shard %d of %d", gl, shard, nShards)
+		}
+		s := &st.Shards[shard]
+		s.Layers = append(s.Layers, gl)
+		s.Sizes = append(s.Sizes, int(size))
+	}
+	for sh := range st.Shards {
+		s := &st.Shards[sh]
+		if len(s.Layers) == 0 {
+			return nil, fmt.Errorf("checkpoint: shard %d owns no layers", sh)
+		}
+		s.M = make([][]float32, len(s.Layers))
+		s.MVer = make([][]uint64, len(s.Layers))
+		s.Workers = make([]WorkerState, st.NumWorkers)
+		for k := range s.Workers {
+			s.Workers[k].V = make([][]float32, len(s.Layers))
+			s.Workers[k].Resid = make([][]uint64, len(s.Layers))
+		}
+	}
+	return st, nil
+}
+
+// decodeSections parses the CRC-framed section stream, requiring every
+// expected section exactly once and a correct end marker.
+func decodeSections(st *State, b []byte) error {
+	seen := map[[4]uint32]bool{}
+	sections := uint64(0)
+	off := 0
+	ended := false
+	for off < len(b) {
+		if ended {
+			return fmt.Errorf("checkpoint: %d bytes after end section", len(b)-off)
+		}
+		if len(b)-off < sectionOverhead-4 {
+			return fmt.Errorf("checkpoint: truncated section header at offset %d", off)
+		}
+		kind := b[off]
+		shard := int(binary.LittleEndian.Uint32(b[off+1:]))
+		worker := int(binary.LittleEndian.Uint32(b[off+5:]))
+		layer := int(binary.LittleEndian.Uint32(b[off+9:]))
+		plen := int(binary.LittleEndian.Uint32(b[off+13:]))
+		// Bound the payload length by the bytes actually remaining before
+		// any slicing: a hostile length cannot read past the buffer.
+		if plen < 0 || plen > len(b)-off-sectionOverhead {
+			return fmt.Errorf("checkpoint: section at offset %d claims %d payload bytes, %d remain",
+				off, plen, len(b)-off-sectionOverhead)
+		}
+		payload := b[off+17 : off+17+plen]
+		wantCRC := binary.LittleEndian.Uint32(b[off+17+plen:])
+		if crc32.Checksum(b[off:off+17+plen], crcTable) != wantCRC {
+			return fmt.Errorf("checkpoint: section CRC mismatch at offset %d", off)
+		}
+		off += sectionOverhead + plen
+		sections++
+
+		if kind != secEnd {
+			if shard < 0 || shard >= len(st.Shards) {
+				return fmt.Errorf("checkpoint: section references shard %d of %d", shard, len(st.Shards))
+			}
+		}
+		key := [4]uint32{uint32(kind), uint32(shard), uint32(worker), uint32(layer)}
+		if seen[key] {
+			return fmt.Errorf("checkpoint: duplicate section kind=%d shard=%d worker=%d layer=%d", kind, shard, worker, layer)
+		}
+		seen[key] = true
+
+		var s *ShardState
+		if kind != secEnd {
+			s = &st.Shards[shard]
+			if kind == secMLayer || kind == secMVerLayer || kind == secVLayer || kind == secResidLayer {
+				if layer < 0 || layer >= len(s.Layers) {
+					return fmt.Errorf("checkpoint: section references layer %d of %d in shard %d", layer, len(s.Layers), shard)
+				}
+			}
+			if kind == secWorkerMeta || kind == secVLayer || kind == secResidLayer {
+				if worker < 0 || worker >= st.NumWorkers {
+					return fmt.Errorf("checkpoint: section references worker %d of %d", worker, st.NumWorkers)
+				}
+			}
+		}
+		switch kind {
+		case secShardMeta:
+			if plen != 16 {
+				return fmt.Errorf("checkpoint: shard meta payload %d bytes, want 16", plen)
+			}
+			s.T = binary.LittleEndian.Uint64(payload)
+			s.CapturedT = binary.LittleEndian.Uint64(payload[8:])
+		case secMLayer:
+			v, err := f32Payload(payload, s.Sizes[layer])
+			if err != nil {
+				return fmt.Errorf("checkpoint: M shard %d layer %d: %w", shard, layer, err)
+			}
+			s.M[layer] = v
+		case secMVerLayer:
+			want := numBlocks(s.Sizes[layer], st.BlockShift)
+			v, err := u64Payload(payload, want)
+			if err != nil {
+				return fmt.Errorf("checkpoint: MVer shard %d layer %d: %w", shard, layer, err)
+			}
+			s.MVer[layer] = v
+		case secWorkerMeta:
+			if plen != 24 {
+				return fmt.Errorf("checkpoint: worker meta payload %d bytes, want 24", plen)
+			}
+			w := &s.Workers[worker]
+			w.Prev = binary.LittleEndian.Uint64(payload)
+			w.SyncVer = binary.LittleEndian.Uint64(payload[8:])
+			w.Epoch = binary.LittleEndian.Uint64(payload[16:])
+		case secVLayer:
+			v, err := f32Payload(payload, s.Sizes[layer])
+			if err != nil {
+				return fmt.Errorf("checkpoint: V shard %d worker %d layer %d: %w", shard, worker, layer, err)
+			}
+			s.Workers[worker].V[layer] = v
+		case secResidLayer:
+			want := (numBlocks(s.Sizes[layer], st.BlockShift) + 63) / 64
+			v, err := u64Payload(payload, want)
+			if err != nil {
+				return fmt.Errorf("checkpoint: resid shard %d worker %d layer %d: %w", shard, worker, layer, err)
+			}
+			s.Workers[worker].Resid[layer] = v
+		case secEnd:
+			if plen != 8 {
+				return fmt.Errorf("checkpoint: end payload %d bytes, want 8", plen)
+			}
+			if got := binary.LittleEndian.Uint64(payload); got != sections {
+				return fmt.Errorf("checkpoint: end section claims %d sections, read %d", got, sections)
+			}
+			ended = true
+		default:
+			return fmt.Errorf("checkpoint: unknown section kind %d", kind)
+		}
+	}
+	if !ended {
+		return errors.New("checkpoint: missing end section (truncated file)")
+	}
+	// Completeness: every layer / worker section must be present.
+	for sh := range st.Shards {
+		s := &st.Shards[sh]
+		if !seen[[4]uint32{secShardMeta, uint32(sh), 0, 0}] {
+			return fmt.Errorf("checkpoint: shard %d missing meta section", sh)
+		}
+		for li := range s.Layers {
+			if s.M[li] == nil || s.MVer[li] == nil {
+				return fmt.Errorf("checkpoint: shard %d layer %d missing M/MVer sections", sh, li)
+			}
+		}
+		for k := range s.Workers {
+			if !seen[[4]uint32{secWorkerMeta, uint32(sh), uint32(k), 0}] {
+				return fmt.Errorf("checkpoint: shard %d worker %d missing meta section", sh, k)
+			}
+			for li := range s.Layers {
+				if s.Workers[k].V[li] == nil || s.Workers[k].Resid[li] == nil {
+					return fmt.Errorf("checkpoint: shard %d worker %d layer %d missing V/resid sections", sh, k, li)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// numBlocks mirrors sparse.NumBlocks without importing it (checkpoint stays
+// leaf-level: telemetry is its only repo dependency).
+func numBlocks(n int, shift uint) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + (1 << shift) - 1) >> shift
+}
+
+// f32Payload validates and copies a float32 section payload.
+func f32Payload(b []byte, want int) ([]float32, error) {
+	if len(b) != 4*want {
+		return nil, fmt.Errorf("payload %d bytes, want %d", len(b), 4*want)
+	}
+	out := make([]float32, want)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+// u64Payload validates and copies a uint64 section payload.
+func u64Payload(b []byte, want int) ([]uint64, error) {
+	if len(b) != 8*want {
+		return nil, fmt.Errorf("payload %d bytes, want %d", len(b), 8*want)
+	}
+	out := make([]uint64, want)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out, nil
+}
+
+func f32Bytes(scratch *[]byte, v []float32) []byte {
+	b := (*scratch)[:0]
+	if cap(b) < 4*len(v) {
+		b = make([]byte, 0, 4*len(v))
+	}
+	for _, x := range v {
+		b = le32(b, math.Float32bits(x))
+	}
+	*scratch = b
+	return b
+}
+
+func u64Bytes(scratch *[]byte, v []uint64) []byte {
+	b := (*scratch)[:0]
+	if cap(b) < 8*len(v) {
+		b = make([]byte, 0, 8*len(v))
+	}
+	for _, x := range v {
+		b = le64(b, x)
+	}
+	*scratch = b
+	return b
+}
+
+func le32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func le64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// Writer writes checkpoints atomically into a directory, pruning old files.
+// It is not safe for concurrent use; the checkpointer goroutine owns it.
+type Writer struct {
+	// Dir is the checkpoint directory (created on first Write).
+	Dir string
+	// Keep bounds how many checkpoint files are retained (minimum and
+	// default 2: the latest plus one fallback in case the latest is found
+	// corrupt on restart).
+	Keep int
+
+	// seq is the next sequence number to assign, initialised on first
+	// Write to one past the newest file already in Dir.
+	seq     uint64
+	seqInit bool
+}
+
+// filePrefix/fileSuffix name checkpoint files ckpt-<seq, 16 hex digits>.dgsk
+// so lexicographic order is sequence order.
+const (
+	filePrefix = "ckpt-"
+	fileSuffix = ".dgsk"
+)
+
+// FileName returns the on-disk name for a checkpoint sequence number.
+func FileName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", filePrefix, seq, fileSuffix)
+}
+
+// Write encodes st and atomically installs it as Dir/ckpt-<seq>.dgsk:
+// temp file in the same directory, fsync, rename, directory fsync. Old
+// checkpoints beyond Keep are pruned afterwards. Returns the final path.
+func (w *Writer) Write(st *State) (string, error) {
+	t0 := time.Now()
+	if err := os.MkdirAll(w.Dir, 0o755); err != nil {
+		return "", fmt.Errorf("checkpoint: mkdir: %w", err)
+	}
+	if !w.seqInit {
+		w.seq = nextSeq(w.Dir)
+		w.seqInit = true
+	}
+	if st.Seq < w.seq {
+		st.Seq = w.seq
+	}
+	enc := Encode(st)
+	final := filepath.Join(w.Dir, FileName(st.Seq))
+	tmp, err := os.CreateTemp(w.Dir, filePrefix+"tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) }
+	if _, err := tmp.Write(enc); err != nil {
+		tmp.Close()
+		cleanup()
+		return "", fmt.Errorf("checkpoint: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return "", fmt.Errorf("checkpoint: sync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return "", fmt.Errorf("checkpoint: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		cleanup()
+		return "", fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	// Sync the directory so the rename itself is durable; best effort on
+	// filesystems that refuse directory fsync.
+	if d, err := os.Open(w.Dir); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
+	}
+	w.seq = st.Seq + 1
+	w.prune()
+	met.writes.Inc()
+	met.bytesWritten.Set(float64(len(enc)))
+	met.writeSeconds.Observe(time.Since(t0).Seconds())
+	return final, nil
+}
+
+// nextSeq returns one past the newest checkpoint sequence already in dir,
+// so a restarted server's writes never overwrite its predecessor's files.
+func nextSeq(dir string) uint64 {
+	names := listCheckpoints(dir)
+	if len(names) == 0 {
+		return 0
+	}
+	last := names[len(names)-1]
+	s, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(last, filePrefix), fileSuffix), 16, 64)
+	if err != nil {
+		return 0
+	}
+	return s + 1
+}
+
+// prune removes the oldest checkpoint files beyond the retention bound.
+func (w *Writer) prune() {
+	keep := w.Keep
+	if keep < 2 {
+		keep = 2
+	}
+	names := listCheckpoints(w.Dir)
+	for i := 0; i+keep < len(names); i++ {
+		os.Remove(filepath.Join(w.Dir, names[i])) //nolint:errcheck
+	}
+}
+
+// listCheckpoints returns checkpoint file names in ascending sequence order.
+func listCheckpoints(dir string) []string {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasPrefix(n, filePrefix) && strings.HasSuffix(n, fileSuffix) &&
+			!strings.Contains(n, "tmp") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load reads and decodes one checkpoint file.
+func Load(path string) (*State, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	st, err := Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: decode %s: %w", path, err)
+	}
+	return st, nil
+}
+
+// LoadLatest returns the newest checkpoint in dir that decodes cleanly,
+// together with its path. Corrupt or truncated files (e.g. the latest one
+// when the machine died mid-rename on a weak filesystem) are skipped in
+// favour of the previous checkpoint. Returns ErrNoCheckpoint when the
+// directory holds nothing usable (including when it does not exist).
+func LoadLatest(dir string) (*State, string, error) {
+	names := listCheckpoints(dir)
+	var lastErr error
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, names[i])
+		st, err := Load(path)
+		if err == nil {
+			return st, path, nil
+		}
+		lastErr = err
+	}
+	if lastErr != nil {
+		return nil, "", fmt.Errorf("%w (last error: %v)", ErrNoCheckpoint, lastErr)
+	}
+	return nil, "", ErrNoCheckpoint
+}

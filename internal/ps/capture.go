@@ -1,0 +1,292 @@
+package ps
+
+import (
+	"fmt"
+	"time"
+
+	"dgs/internal/checkpoint"
+	"dgs/internal/sparse"
+)
+
+// This file implements crash-safe snapshot capture and restore for Server
+// and ShardedServer (DESIGN.md §12).
+//
+// Capture is incremental: the checkpoint.State acts as the accumulating
+// snapshot buffer — its CapturedT horizon records the clock of the previous
+// capture, and the next capture copies only blocks of M stamped after it
+// (mver, maintained by Push's apply phase) and blocks of each v_k stamped
+// after it (vver, maintained by gatherDown). Everything else in the State is
+// already bitwise-correct from the previous capture, so steady-state
+// checkpoints cost O(blocks dirtied since the last one), not O(model ×
+// workers).
+//
+// Capture quiesces the server by taking every worker mutex in index order
+// and then the model read lock — the same w-before-s order Push uses, so no
+// deadlock is possible — giving a consistent cut: no push is mid-flight, so
+// M, every v_k, and t describe a server state that actually existed.
+
+// NewCaptureState allocates a zeroed snapshot buffer matching this server's
+// geometry. The first Capture into it copies every block ever touched
+// (untouched blocks are zero on both sides already). The caller owns
+// Incarnation and Seq; Capture maintains the rest.
+func (s *Server) NewCaptureState() *checkpoint.State {
+	st := &checkpoint.State{
+		NumWorkers: s.cfg.Workers,
+		BlockShift: s.blockShift,
+		Shards:     make([]checkpoint.ShardState, 1),
+	}
+	layers := make([]int, len(s.cfg.LayerSizes))
+	for i := range layers {
+		layers[i] = i
+	}
+	initShardState(&st.Shards[0], layers, s.cfg.LayerSizes, s.cfg.Workers, s.blockShift)
+	return st
+}
+
+// initShardState allocates one shard's buffers for the given layer set.
+func initShardState(ss *checkpoint.ShardState, layers, sizes []int, workers int, shift uint) {
+	ss.Layers = append([]int(nil), layers...)
+	ss.Sizes = append([]int(nil), sizes...)
+	ss.M = make([][]float32, len(sizes))
+	ss.MVer = make([][]uint64, len(sizes))
+	for i, n := range sizes {
+		ss.M[i] = make([]float32, n)
+		ss.MVer[i] = make([]uint64, sparse.NumBlocks(n, shift))
+	}
+	ss.Workers = make([]checkpoint.WorkerState, workers)
+	for k := range ss.Workers {
+		w := &ss.Workers[k]
+		w.V = make([][]float32, len(sizes))
+		w.Resid = make([][]uint64, len(sizes))
+		for i, n := range sizes {
+			w.V[i] = make([]float32, n)
+			w.Resid[i] = make([]uint64, (sparse.NumBlocks(n, shift)+63)/64)
+		}
+	}
+}
+
+// Capture snapshots the server into st, copying only blocks dirtied since
+// st's previous capture. st must come from NewCaptureState or from a
+// checkpoint this server was restored from (Restore guarantees the server
+// matches the State exactly, so incremental capture continues seamlessly).
+func (s *Server) Capture(st *checkpoint.State) (checkpoint.CaptureStats, error) {
+	if len(st.Shards) != 1 {
+		return checkpoint.CaptureStats{}, fmt.Errorf("ps: capture state has %d shards, server is unsharded", len(st.Shards))
+	}
+	if err := s.checkShardGeometry(&st.Shards[0], st.NumWorkers, st.BlockShift); err != nil {
+		return checkpoint.CaptureStats{}, err
+	}
+	cs := s.captureInto(&st.Shards[0])
+	st.WallNano = time.Now().UnixNano()
+	checkpoint.ObserveCapture(cs)
+	return cs, nil
+}
+
+// checkShardGeometry validates a shard buffer against this server's layout.
+func (s *Server) checkShardGeometry(ss *checkpoint.ShardState, workers int, shift uint) error {
+	if workers != s.cfg.Workers {
+		return fmt.Errorf("ps: snapshot has %d workers, server has %d", workers, s.cfg.Workers)
+	}
+	if shift != s.blockShift {
+		return fmt.Errorf("ps: snapshot block shift %d, server uses %d", shift, s.blockShift)
+	}
+	if len(ss.Sizes) != len(s.cfg.LayerSizes) {
+		return fmt.Errorf("ps: snapshot has %d layers, server has %d", len(ss.Sizes), len(s.cfg.LayerSizes))
+	}
+	for i, n := range s.cfg.LayerSizes {
+		if ss.Sizes[i] != n {
+			return fmt.Errorf("ps: snapshot layer %d has %d elements, server has %d", i, ss.Sizes[i], n)
+		}
+	}
+	if len(ss.Workers) != s.cfg.Workers {
+		return fmt.Errorf("ps: snapshot has state for %d workers, server has %d", len(ss.Workers), s.cfg.Workers)
+	}
+	return nil
+}
+
+// captureInto copies this server's dirty state into ss and advances its
+// horizon. Geometry must be pre-validated.
+func (s *Server) captureInto(ss *checkpoint.ShardState) checkpoint.CaptureStats {
+	// Quiesce: all worker locks in index order, then the model read lock
+	// (same w→s order as Push, see file comment).
+	for k := range s.workers {
+		s.workers[k].mu.Lock()
+	}
+	defer func() {
+		for k := len(s.workers) - 1; k >= 0; k-- {
+			s.workers[k].mu.Unlock()
+		}
+	}()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	var cs checkpoint.CaptureStats
+	t := s.t.Load()
+	since := ss.CapturedT
+	for layer, ml := range s.m {
+		ver := s.mver[layer]
+		for b := range ver {
+			if ver[b] <= since {
+				cs.BlocksSkipped++
+				continue
+			}
+			lo, hi := sparse.BlockSpan(b, s.blockShift, len(ml))
+			copy(ss.M[layer][lo:hi], ml[lo:hi])
+			ss.MVer[layer][b] = ver[b]
+			cs.BlocksCopied++
+			cs.Bytes += 4 * uint64(hi-lo)
+		}
+	}
+	for k := range s.workers {
+		w := &s.workers[k]
+		sw := &ss.Workers[k]
+		sw.Prev = w.prev
+		sw.SyncVer = w.syncVer
+		sw.Epoch = w.epoch.Load()
+		for layer := range w.v {
+			// Residual bitmaps are one bit per block — copy unconditionally.
+			copy(sw.Resid[layer], w.resid[layer])
+			vl := w.v[layer]
+			ver := w.vver[layer]
+			for b := range ver {
+				if ver[b] <= since {
+					cs.BlocksSkipped++
+					continue
+				}
+				lo, hi := sparse.BlockSpan(b, s.blockShift, len(vl))
+				copy(sw.V[layer][lo:hi], vl[lo:hi])
+				cs.BlocksCopied++
+				cs.Bytes += 4 * uint64(hi-lo)
+			}
+		}
+	}
+	ss.T = t
+	ss.CapturedT = t
+	return cs
+}
+
+// restoreFrom installs a shard snapshot into this (freshly built) server.
+// Geometry must be pre-validated. The vver stamps stay zero: the server now
+// matches the State exactly, so every block is correctly "already captured"
+// relative to the State's horizon.
+func (s *Server) restoreFrom(ss *checkpoint.ShardState) {
+	for layer := range s.m {
+		copy(s.m[layer], ss.M[layer])
+		copy(s.mver[layer], ss.MVer[layer])
+	}
+	s.t.Store(ss.T)
+	s.pushes.Store(ss.T)
+	for k := range s.workers {
+		w := &s.workers[k]
+		sw := &ss.Workers[k]
+		w.prev = sw.Prev
+		w.syncVer = sw.SyncVer
+		w.epoch.Store(sw.Epoch)
+		for layer := range w.v {
+			copy(w.v[layer], sw.V[layer])
+			copy(w.resid[layer], sw.Resid[layer])
+		}
+	}
+}
+
+// RestoreServer rebuilds an unsharded server from a checkpoint. The
+// configuration must describe the same geometry the checkpoint was taken
+// with (layer sizes, worker count, block shift); compression flags are free
+// to differ — they shape future exchanges, not stored state.
+func RestoreServer(cfg Config, st *checkpoint.State) (*Server, error) {
+	if len(st.Shards) != 1 {
+		return nil, fmt.Errorf("ps: checkpoint has %d shards, want 1 for an unsharded server", len(st.Shards))
+	}
+	s := NewServer(cfg)
+	if err := s.checkShardGeometry(&st.Shards[0], st.NumWorkers, st.BlockShift); err != nil {
+		return nil, err
+	}
+	for i, gl := range st.Shards[0].Layers {
+		if gl != i {
+			return nil, fmt.Errorf("ps: checkpoint shard 0 lists layer %d at position %d", gl, i)
+		}
+	}
+	s.restoreFrom(&st.Shards[0])
+	return s, nil
+}
+
+// NewCaptureState allocates a zeroed multi-shard snapshot buffer matching
+// this sharded server's layer placement.
+func (s *ShardedServer) NewCaptureState() *checkpoint.State {
+	st := &checkpoint.State{
+		NumWorkers: len(s.split),
+		BlockShift: s.shards[0].blockShift,
+		Shards:     make([]checkpoint.ShardState, len(s.shards)),
+	}
+	for sh, shard := range s.shards {
+		initShardState(&st.Shards[sh], s.globalOf[sh], shard.cfg.LayerSizes, shard.cfg.Workers, shard.blockShift)
+	}
+	return st
+}
+
+// Capture snapshots every shard into st. Shards are captured one after
+// another, each at its own consistent cut; a logical push split across
+// shards may land in the snapshot on some shards and not others. That is
+// safe: a snapshot is only ever used after a server restart, where every
+// reconnecting worker is forced through Resync (incarnation fencing), which
+// re-establishes Eq. 5 per shard from the restored M.
+func (s *ShardedServer) Capture(st *checkpoint.State) (checkpoint.CaptureStats, error) {
+	if len(st.Shards) != len(s.shards) {
+		return checkpoint.CaptureStats{}, fmt.Errorf("ps: capture state has %d shards, server has %d", len(st.Shards), len(s.shards))
+	}
+	var cs checkpoint.CaptureStats
+	for sh, shard := range s.shards {
+		ss := &st.Shards[sh]
+		if err := shard.checkShardGeometry(ss, st.NumWorkers, st.BlockShift); err != nil {
+			return checkpoint.CaptureStats{}, fmt.Errorf("shard %d: %w", sh, err)
+		}
+		if err := checkLayerPlacement(ss.Layers, s.globalOf[sh], sh); err != nil {
+			return checkpoint.CaptureStats{}, err
+		}
+		cs.Add(shard.captureInto(ss))
+	}
+	st.WallNano = time.Now().UnixNano()
+	checkpoint.ObserveCapture(cs)
+	return cs, nil
+}
+
+func checkLayerPlacement(got, want []int, sh int) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("ps: checkpoint shard %d owns %d layers, server places %d", sh, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("ps: checkpoint shard %d has layer %d at position %d, server places layer %d", sh, got[i], i, want[i])
+		}
+	}
+	return nil
+}
+
+// RestoreShardedServer rebuilds a sharded server from a checkpoint. The
+// shard count and the deterministic greedy layer placement must match the
+// checkpoint's (same cfg.LayerSizes and shard count reproduce it).
+func RestoreShardedServer(cfg Config, numShards int, st *checkpoint.State) (*ShardedServer, error) {
+	s := NewShardedServer(cfg, numShards)
+	if len(st.Shards) != len(s.shards) {
+		return nil, fmt.Errorf("ps: checkpoint has %d shards, server built %d", len(st.Shards), len(s.shards))
+	}
+	for sh, shard := range s.shards {
+		ss := &st.Shards[sh]
+		if err := shard.checkShardGeometry(ss, st.NumWorkers, st.BlockShift); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", sh, err)
+		}
+		if err := checkLayerPlacement(ss.Layers, s.globalOf[sh], sh); err != nil {
+			return nil, err
+		}
+	}
+	for sh, shard := range s.shards {
+		shard.restoreFrom(&st.Shards[sh])
+	}
+	// Reset each worker's wrapper-level staleness baseline to the restored
+	// clock, mirroring what restoreFrom does with prev(k) per shard.
+	clock := s.Timestamp()
+	for k := range s.prevClock {
+		s.prevClock[k] = clock
+	}
+	return s, nil
+}

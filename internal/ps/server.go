@@ -140,6 +140,14 @@ type workerState struct {
 	// so the tiny correction the full scan would re-send still goes out and
 	// results stay bitwise-identical to BaselineServer.
 	resid [][]uint64
+	// vver[layer] stamps each dirty-tracking block of v with the timestamp
+	// of the last exchange that changed it — the checkpoint analogue of
+	// mver. Capture copies only v-blocks stamped after its previous
+	// horizon, so steady-state checkpoints are incremental on the worker
+	// state too, not just on M. Not persisted: a restored server matches
+	// its checkpoint exactly, so an all-zero vver correctly marks
+	// everything as already captured.
+	vver [][]uint64
 	// epoch is the incarnation counter, bumped on Resync. Atomic so the
 	// transport's fencing reads never touch a lock.
 	epoch atomic.Uint64
@@ -219,8 +227,10 @@ func NewServer(cfg Config) *Server {
 		w := &s.workers[k]
 		w.v = alloc()
 		w.resid = make([][]uint64, len(cfg.LayerSizes))
+		w.vver = make([][]uint64, len(cfg.LayerSizes))
 		for i := range w.resid {
 			w.resid[i] = make([]uint64, (len(s.mver[i])+63)/64)
+			w.vver[i] = make([]uint64, len(s.mver[i]))
 		}
 		if cfg.Secondary {
 			w.diff = make([]float32, maxLayer)
@@ -259,6 +269,16 @@ func (s *Server) Resync(worker int) {
 	for _, bits := range w.resid {
 		for i := range bits {
 			bits[i] = 0
+		}
+	}
+	// Stamp every v-block one past the current clock so the next Capture
+	// copies the zeroed state: t never moves backwards and a capture's
+	// horizon is the t it observed, so t+1 is strictly beyond any horizon
+	// recorded so far.
+	vstamp := s.t.Load() + 1
+	for _, ver := range w.vver {
+		for i := range ver {
+			ver[i] = vstamp
 		}
 	}
 	w.prev = s.t.Load()
@@ -329,7 +349,7 @@ func (s *Server) Push(worker int, g *sparse.Update) (sparse.Update, uint64) {
 	// is the horizon v_k is synchronised to afterwards.
 	s.mu.RLock()
 	tSeen := s.t.Load()
-	scanned, skipped := s.gatherDown(w, w.syncVer)
+	scanned, skipped := s.gatherDown(w, w.syncVer, tSeen)
 	s.mu.RUnlock()
 
 	w.prev = tSeen
@@ -343,16 +363,23 @@ func (s *Server) Push(worker int, g *sparse.Update) (sparse.Update, uint64) {
 // gatherDown assembles the downward update for w into w.down and records it
 // in v_k. The caller holds w.mu and s.mu.RLock. since is the dirty-tracking
 // horizon: in the sparse non-secondary path, blocks stamped at or before it
-// (and without a residual bit) are skipped outright.
-func (s *Server) gatherDown(w *workerState, since uint64) (scanned, skipped uint64) {
+// (and without a residual bit) are skipped outright. stamp is the timestamp
+// written into w.vver for every v-block this gather changes (checkpoint
+// dirty tracking); Push passes tSeen, which is strictly greater than any
+// capture horizon recorded before this gather began.
+func (s *Server) gatherDown(w *workerState, since, stamp uint64) (scanned, skipped uint64) {
 	out := &w.down
 	out.Chunks = out.Chunks[:0]
 	for layer := range s.m {
 		ml, vl := s.m[layer], w.v[layer]
 		switch {
 		case s.cfg.DenseDownward:
-			// Ship every coordinate (whole-model download semantics).
+			// Ship every coordinate (whole-model download semantics). Any of
+			// them may have changed v, so stamp the whole layer.
 			denseDiff(out.NextChunk(), layer, ml, vl, s.denseIdx)
+			for b := range w.vver[layer] {
+				w.vver[layer][b] = stamp
+			}
 		case s.cfg.Secondary:
 			// Secondary compression: keep only the top R% of |G| for this
 			// layer; the remainder stays implicit in M − v_k and is
@@ -379,9 +406,10 @@ func (s *Server) gatherDown(w *workerState, since uint64) (scanned, skipped uint
 			sparse.GatherInto(c, layer, d, idx)
 			// v_k ← v_k + G (Eq. 6b): record exactly what was sent.
 			sparse.Scatter(c, vl, 1)
+			sparse.MarkBlocks(w.vver[layer], c.Idx, stamp, s.blockShift)
 		default:
 			c := out.NextChunk()
-			sc, sk := sparseDiff(c, layer, ml, vl, s.mver[layer], w.resid[layer], since, s.blockShift)
+			sc, sk := sparseDiff(c, layer, ml, vl, s.mver[layer], w.resid[layer], w.vver[layer], since, stamp, s.blockShift)
 			scanned += sc
 			skipped += sk
 			if len(c.Idx) == 0 {
@@ -419,7 +447,7 @@ func denseDiff(c *sparse.Chunk, layer int, ml, vl []float32, denseIdx []int32) {
 // one exception: float addition can round v + (M−v) away from M, and the
 // full scan would re-send that sliver next time, so such blocks stay marked
 // until a rescan observes vl == ml for every coordinate.
-func sparseDiff(c *sparse.Chunk, layer int, ml, vl []float32, ver, resid []uint64, since uint64, shift uint) (scanned, skipped uint64) {
+func sparseDiff(c *sparse.Chunk, layer int, ml, vl []float32, ver, resid, vver []uint64, since, stamp uint64, shift uint) (scanned, skipped uint64) {
 	c.Layer = layer
 	c.Idx = c.Idx[:0]
 	c.Val = c.Val[:0]
@@ -432,16 +460,21 @@ func sparseDiff(c *sparse.Chunk, layer int, ml, vl []float32, ver, resid []uint6
 		scanned++
 		lo, hi := sparse.BlockSpan(b, shift, len(ml))
 		clean := true
+		changed := false
 		for j := lo; j < hi; j++ {
 			dv := ml[j] - vl[j]
 			if dv != 0 {
 				c.Idx = append(c.Idx, int32(j))
 				c.Val = append(c.Val, dv)
 				vl[j] += dv
+				changed = true
 				if vl[j] != ml[j] {
 					clean = false
 				}
 			}
+		}
+		if changed {
+			vver[b] = stamp
 		}
 		if clean {
 			resid[word] &^= 1 << bit

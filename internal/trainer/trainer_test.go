@@ -305,7 +305,11 @@ func TestShardedServerTraining(t *testing.T) {
 
 func TestWeightDecayRegularises(t *testing.T) {
 	run := func(wd float32) float64 {
-		cfg := quickConfig(DGS, 2)
+		// One worker: the async push schedule is wall-clock-dependent with
+		// more, and whether crushing decay drags accuracy under the bar
+		// must not hinge on goroutine interleaving. The property under
+		// test — the ∇+wd·θ term reaching the update — is per-worker.
+		cfg := quickConfig(DGS, 1)
 		cfg.WeightDecay = wd
 		res, err := Run(cfg)
 		if err != nil {
@@ -322,9 +326,9 @@ func TestWeightDecayRegularises(t *testing.T) {
 	if mild < 0.7 {
 		t.Fatalf("mild decay broke training: %.3f", mild)
 	}
-	// Crushing decay (effective shrink lr·wd = 0.2/step) must underfit
+	// Crushing decay (effective shrink lr·wd = 0.5/step) must underfit
 	// dramatically — proof the ∇+wd·θ term actually reaches the update.
-	crushed := run(2)
+	crushed := run(5)
 	if crushed > plain-0.2 {
 		t.Fatalf("wd=2 accuracy %.3f; expected collapse well below baseline %.3f", crushed, plain)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,11 +37,43 @@ type FaultConfig struct {
 	// duration up to MaxDelay (jitter; stresses staleness and deadlines).
 	Delay    float64
 	MaxDelay time.Duration
+	// ServerRestart is the probability the server "restarts" under this
+	// exchange: the connection resets (like Reset) and every later response
+	// through any Faulty sharing the same Restart state carries a skewed
+	// server incarnation id, so session clients observe exactly what a real
+	// process replacement looks like on the wire — a dropped connection
+	// followed by an unfamiliar incarnation — and must take the
+	// ErrServerRestarted → re-hello path. The underlying server never
+	// actually loses state, which is precisely the point: its session table
+	// treats the re-hello as a no-op, so the test isolates the client-side
+	// recovery machinery.
+	ServerRestart float64
+	// Restart shares the simulated incarnation skew among the Faulty
+	// wrappers of one logical cluster (every worker must see the same
+	// "restart"). Nil with ServerRestart > 0 gets a private state, which is
+	// only right for single-client tests.
+	Restart *RestartState
+}
+
+// RestartState carries the cumulative incarnation skew of simulated server
+// restarts. Share one instance across all Faulty wrappers pointing at the
+// same server.
+type RestartState struct {
+	skew     atomic.Uint64
+	restarts atomic.Uint64
+}
+
+// Restarts reports how many simulated restarts have fired.
+func (s *RestartState) Restarts() uint64 { return s.restarts.Load() }
+
+func (s *RestartState) fire(delta uint64) {
+	s.skew.Add(delta)
+	s.restarts.Add(1)
 }
 
 // FaultStats counts injected faults by kind.
 type FaultStats struct {
-	DropsBefore, DropsAfter, Duplicates, Resets, Delays uint64
+	DropsBefore, DropsAfter, Duplicates, Resets, Delays, ServerRestarts uint64
 }
 
 // Faulty wraps a Transport and injects seeded, deterministic faults. Place
@@ -59,6 +92,9 @@ type Faulty struct {
 
 // NewFaulty wraps a transport with a fault schedule.
 func NewFaulty(inner Transport, cfg FaultConfig) *Faulty {
+	if cfg.ServerRestart > 0 && cfg.Restart == nil {
+		cfg.Restart = &RestartState{}
+	}
 	return &Faulty{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(int64(cfg.Seed)))}
 }
 
@@ -70,8 +106,10 @@ func (f *Faulty) Stats() FaultStats {
 }
 
 // Exchange implements Transport, possibly injecting one fault. Fault rolls
-// happen in a fixed order (delay, reset, drop-before, duplicate,
-// drop-after) so the schedule is reproducible from the seed alone.
+// happen in a fixed order (delay, reset, restart, drop-before, duplicate,
+// drop-after) so the schedule is reproducible from the seed alone; a
+// probability of zero draws nothing, so enabling a new fault kind does not
+// shift the schedule of the others.
 func (f *Faulty) Exchange(worker int, payload []byte) ([]byte, error) {
 	f.mu.Lock()
 	if f.closed {
@@ -85,10 +123,19 @@ func (f *Faulty) Exchange(worker int, payload []byte) ([]byte, error) {
 		tmet.faultDelay.Inc()
 	}
 	reset := f.roll(f.cfg.Reset)
+	restart := f.roll(f.cfg.ServerRestart)
 	dropBefore := f.roll(f.cfg.DropBeforeSend)
 	duplicate := f.roll(f.cfg.Duplicate)
 	dropAfter := f.roll(f.cfg.DropAfterSend)
-	if reset {
+	if restart {
+		// The restart subsumes a reset: same wire symptom, plus the skew.
+		// The delta is drawn under f.mu so schedules stay seed-reproducible.
+		f.stats.ServerRestarts++
+		tmet.faultRestart.Inc()
+		f.closed = true
+		f.cfg.Restart.fire(uint64(f.rng.Int63()) | 1)
+		reset = false
+	} else if reset {
 		f.stats.Resets++
 		tmet.faultReset.Inc()
 		f.closed = true
@@ -108,6 +155,9 @@ func (f *Faulty) Exchange(worker int, payload []byte) ([]byte, error) {
 		time.Sleep(sleep)
 	}
 	switch {
+	case restart:
+		f.inner.Close()
+		return nil, fmt.Errorf("%w: server restarted (connection reset)", ErrInjected)
 	case reset:
 		f.inner.Close()
 		return nil, fmt.Errorf("%w: connection reset", ErrInjected)
@@ -120,7 +170,8 @@ func (f *Faulty) Exchange(worker int, payload []byte) ([]byte, error) {
 		if _, err := f.inner.Exchange(worker, payload); err != nil {
 			return nil, err
 		}
-		return f.inner.Exchange(worker, payload)
+		resp, err := f.inner.Exchange(worker, payload)
+		return f.skewed(resp), err
 	case dropAfter:
 		// The server processes the request; the client never sees the
 		// response (torn response). The caller's retry layer will tear down
@@ -130,8 +181,20 @@ func (f *Faulty) Exchange(worker int, payload []byte) ([]byte, error) {
 		}
 		return nil, fmt.Errorf("%w: response torn", ErrInjected)
 	default:
-		return f.inner.Exchange(worker, payload)
+		resp, err := f.inner.Exchange(worker, payload)
+		return f.skewed(resp), err
 	}
+}
+
+// skewed applies the simulated-restart incarnation skew to a session
+// response so the client sees the post-"restart" server identity.
+func (f *Faulty) skewed(resp []byte) []byte {
+	if st := f.cfg.Restart; st != nil {
+		if skew := st.skew.Load(); skew != 0 {
+			patchSessionRespIncarnation(resp, skew)
+		}
+	}
+	return resp
 }
 
 // roll draws one Bernoulli sample; callers hold f.mu.

@@ -25,6 +25,7 @@ var tmet = struct {
 	faultDuplicate  *telemetry.Counter
 	faultReset      *telemetry.Counter
 	faultDelay      *telemetry.Counter
+	faultRestart    *telemetry.Counter
 
 	muxSubmits      *telemetry.Counter
 	pipeReplayed    *telemetry.Counter
@@ -68,6 +69,7 @@ func init() {
 	tmet.faultDuplicate = fault("duplicate", help)
 	tmet.faultReset = fault("reset", help)
 	tmet.faultDelay = fault("delay", help)
+	tmet.faultRestart = fault("server_restart", help)
 
 	tmet.muxSubmits = reg.Counter("dgs_mux_submits_total",
 		"Request frames written by mux (wire-v2) clients.")

@@ -153,7 +153,13 @@ func (m *MuxConn) Recv(buf []byte) (uint64, []byte, error) {
 	m.pending--
 	sent := m.sentBytes[0]
 	m.sentBytes = m.sentBytes[:copy(m.sentBytes, m.sentBytes[1:])]
-	if status != statusOK {
+	switch status {
+	case statusOK:
+	case statusRetry:
+		// Admission rejection: never executed, connection intact; the
+		// pipelined session backs off and replays the window.
+		return id, buf, &RetryAfterError{After: decodeRetryHint(buf)}
+	default:
 		// The frame itself was intact, so the connection stays usable.
 		return id, buf, &ServerError{Msg: string(buf)}
 	}

@@ -240,8 +240,12 @@ type PipelinedSession struct {
 	seq         uint64
 	established bool
 	epoch       uint64
-	slots       []pipeSlot
-	head, n     int
+	// serverInc is the pinned server incarnation (0 = none yet); a response
+	// carrying a different one surfaces ErrServerRestarted, and the next
+	// Submit starts a fresh hello (see rejoin below).
+	serverInc uint64
+	slots     []pipeSlot
+	head, n   int
 }
 
 // NewPipelinedSession builds a pipelined session client with the default
@@ -395,6 +399,19 @@ func (p *PipelinedSession) Await() ([]byte, error) {
 		id, resp, err := p.link.Recv(s.resp)
 		s.resp = resp // keep the (possibly grown) buffer either way
 		if err != nil {
+			var ra *RetryAfterError
+			if errors.As(err, &ra) {
+				// Admission rejection of the oldest frame (server overloaded
+				// or draining): honour the server's hint, then replay the
+				// whole window — frames behind the head may have executed or
+				// bounced, and the replay cache deduplicates either way.
+				lastErr = err
+				p.dropLink()
+				if ra.After > 0 {
+					time.Sleep(ra.After)
+				}
+				continue
+			}
 			var srvErr *ServerError
 			if errors.As(err, &srvErr) {
 				// Delivered and rejected at the framing layer: the link is
@@ -411,12 +428,24 @@ func (p *PipelinedSession) Await() ([]byte, error) {
 			p.dropLink()
 			continue
 		}
-		status, epoch, body, derr := decodeSessionResp(resp)
+		status, epoch, inc, body, derr := decodeSessionResp(resp)
 		if derr != nil {
 			p.pop()
 			return nil, derr
 		}
 		p.epoch = epoch
+		if p.serverInc == 0 {
+			p.serverInc = inc
+		} else if inc != p.serverInc {
+			// Server restart: the whole in-flight window was addressed to a
+			// session the new server never adopted. Surface the recoverable
+			// error; the resilient worker loop rejoins as a fresh incarnation
+			// (new PipelinedSession), which hellos and resyncs.
+			p.serverInc = inc
+			p.established = false
+			p.pop()
+			return nil, fmt.Errorf("%w (worker %d)", ErrServerRestarted, s.worker)
+		}
 		switch status {
 		case statusOK:
 			p.established = true

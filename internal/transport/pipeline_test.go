@@ -289,7 +289,7 @@ func TestExactlyOnceEvictsBeyondReplayWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st, _, _, _ := decodeSessionResp(resp); st != statusOK {
+	if st, _, _, _, _ := decodeSessionResp(resp); st != statusOK {
 		t.Fatalf("in-window replay status 0x%02x", st)
 	}
 	// seq 2's slot was overwritten by seq 6 (ring of 4): evicted.
@@ -297,7 +297,7 @@ func TestExactlyOnceEvictsBeyondReplayWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st, _, _, _ := decodeSessionResp(resp); st != statusBadSeq {
+	if st, _, _, _, _ := decodeSessionResp(resp); st != statusBadSeq {
 		t.Fatalf("evicted replay status 0x%02x, want bad seq", st)
 	}
 	if h.count() != calls {

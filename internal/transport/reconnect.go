@@ -1,8 +1,10 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 )
 
@@ -20,8 +22,18 @@ import (
 //
 // Application errors are never retried: a *ServerError (explicit error frame
 // from the server) means the request was delivered and rejected, so
-// re-sending the identical bytes deterministically fails again. Only
-// network-level failures trigger a reconnect.
+// re-sending the identical bytes deterministically fails again. Network
+// faults trigger a reconnect. A *RetryAfterError (admission rejection, see
+// Gate) is retried WITHOUT redialling — the connection is intact, the
+// server just wants the load shed — and the sleep is floored at the
+// server's hint.
+//
+// Backoff: capped full-jitter exponential (the AWS architecture-blog
+// scheme). Attempt k sleeps uniform[0, min(MaxBackoff, Backoff·2^(k−1))):
+// the jitter decorrelates a herd of workers that all lost the same server
+// or all got shed by the same overloaded one, so their retries spread out
+// instead of stampeding back in lockstep. Deterministic tests inject a
+// seeded Rand.
 //
 // Configuration: the zero value of MaxRetries and Backoff is honoured as
 // written — MaxRetries 0 disables retries (exactly one attempt) and
@@ -34,42 +46,100 @@ type Reconnecting struct {
 	// MaxRetries bounds reconnect attempts after the first try. 0 means no
 	// retries. NewReconnecting sets 3.
 	MaxRetries int
-	// Backoff is the base delay between attempts, doubled each retry. 0
-	// means no delay. NewReconnecting sets 50 ms.
+	// Backoff is the base of the exponential schedule. 0 means no delay.
+	// NewReconnecting sets 50 ms.
 	Backoff time.Duration
-	// MaxBackoff caps the exponential doubling; without a cap a large
+	// MaxBackoff caps the exponential growth; without a cap a large
 	// MaxRetries sleeps for 2^MaxRetries×Backoff against a dead server. 0
 	// means uncapped. NewReconnecting sets 2 s.
 	MaxBackoff time.Duration
+	// Rand supplies the jitter draws in [0,1). Nil uses the global
+	// math/rand source; tests inject a seeded Rand for a deterministic
+	// sleep schedule.
+	Rand func() float64
+	// Ctx, when non-nil, cancels waiting between attempts: an exchange
+	// blocked in backoff returns ctx.Err() instead of sleeping out the
+	// schedule. In-flight socket operations are not interrupted (bound
+	// those with ExchangeTimeout); this gates the retry loop, which is
+	// where a draining worker actually spends its shutdown time.
+	Ctx context.Context
 
 	current Transport
 }
 
 // NewReconnecting wraps a dialer with the default retry policy (3 retries,
-// 50 ms exponential backoff capped at 2 s). Zero the fields afterwards to
-// disable any of them.
+// 50 ms full-jitter exponential backoff capped at 2 s). Zero the fields
+// afterwards to disable any of them.
 func NewReconnecting(dial func() (Transport, error)) *Reconnecting {
 	return &Reconnecting{Dial: dial, MaxRetries: 3, Backoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second}
+}
+
+// sleepFor returns the full-jitter delay before retry attempt k (1-based):
+// uniform in [0, min(MaxBackoff, Backoff·2^(k−1))), floored at floor (the
+// server's retry-after hint, which jitter must stretch but never undercut).
+func (r *Reconnecting) sleepFor(attempt int, floor time.Duration) time.Duration {
+	ceil := r.Backoff
+	for i := 1; i < attempt && ceil > 0; i++ {
+		ceil *= 2
+		if r.MaxBackoff > 0 && ceil >= r.MaxBackoff {
+			ceil = r.MaxBackoff
+			break
+		}
+	}
+	var d time.Duration
+	if ceil > 0 {
+		f := r.Rand
+		if f == nil {
+			f = rand.Float64
+		}
+		d = time.Duration(f() * float64(ceil))
+	}
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// wait sleeps for d, honouring context cancellation.
+func (r *Reconnecting) wait(d time.Duration) error {
+	if r.Ctx == nil {
+		if d > 0 {
+			time.Sleep(d)
+		}
+		return nil
+	}
+	if err := r.Ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-r.Ctx.Done():
+		return r.Ctx.Err()
+	}
 }
 
 // Exchange implements Transport with reconnect-and-retry.
 func (r *Reconnecting) Exchange(worker int, payload []byte) ([]byte, error) {
 	var lastErr error
-	backoff := r.Backoff
 	retries := r.MaxRetries
 	if retries < 0 {
 		retries = 0
 	}
+	// floor carries the most recent RetryAfter hint into the next wait.
+	var floor time.Duration
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			tmet.retries.Inc()
-			if backoff > 0 {
-				time.Sleep(backoff)
-				backoff *= 2
-				if r.MaxBackoff > 0 && backoff > r.MaxBackoff {
-					backoff = r.MaxBackoff
-				}
+			if err := r.wait(r.sleepFor(attempt, floor)); err != nil {
+				return nil, fmt.Errorf("transport: retry wait cancelled: %w (last error: %v)", err, lastErr)
 			}
+			floor = 0
 		}
 		if r.current == nil {
 			t, err := r.Dial()
@@ -83,6 +153,15 @@ func (r *Reconnecting) Exchange(worker int, payload []byte) ([]byte, error) {
 		resp, err := r.current.Exchange(worker, payload)
 		if err == nil {
 			return resp, nil
+		}
+		var ra *RetryAfterError
+		if errors.As(err, &ra) {
+			// Admission rejection: the connection is fine and the frame was
+			// never executed. Back off (at least the hint) and re-send on
+			// the same connection.
+			lastErr = err
+			floor = ra.After
+			continue
 		}
 		var srvErr *ServerError
 		if errors.As(err, &srvErr) {

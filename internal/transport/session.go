@@ -25,7 +25,7 @@ import (
 //	request:  u32 magic "DGSS" | u8 version | u8 flags | u64 session |
 //	          u64 seq | application payload
 //	response: u32 magic "DGSR" | u8 version | u8 status | u64 epoch |
-//	          application payload (or error text)
+//	          u64 incarnation | application payload (or error text)
 //
 // Each client incarnation owns one random session id; each logical exchange
 // gets the next sequence number. Retries (see Reconnecting) re-send the
@@ -41,13 +41,24 @@ import (
 // fresh replica), and adopts the session. Any non-hello frame whose session
 // does not match the current one is a straggler from a dead incarnation and
 // is rejected with statusStaleSession — it can never mutate server state.
+//
+// Server restart (protocol v2): every response carries the server's own
+// incarnation id, drawn at random when the ExactlyOnce middleware is built
+// (or restored from a checkpoint's metadata). Clients pin the first
+// incarnation they observe; a response carrying a different one proves the
+// server lost its session table — typically a crash/restart, where the old
+// session is unknown and the frame bounced with statusStaleSession. That
+// MUST NOT be treated like worker supersession (which is fatal): the client
+// surfaces ErrServerRestarted, un-establishes itself, and the retry layer
+// rejoins with a hello so the server resyncs the worker against its
+// restored state.
 const (
 	sessionReqMagic  = 0x53534744 // "DGSS" little endian
 	sessionRespMagic = 0x52534744 // "DGSR" little endian
-	sessionVersion   = 1
+	sessionVersion   = 2
 
 	reqHeaderLen  = 4 + 1 + 1 + 8 + 8
-	respHeaderLen = 4 + 1 + 1 + 8
+	respHeaderLen = 4 + 1 + 1 + 8 + 8
 )
 
 const (
@@ -71,6 +82,13 @@ var ErrStaleSession = errors.New("transport: session superseded by a newer worke
 // order against the worker's replay window — a protocol violation (e.g. two
 // live clients sharing a session). The exchange was NOT applied.
 var ErrBadSeq = errors.New("transport: sequence number out of order")
+
+// ErrServerRestarted is returned when a response carries a different server
+// incarnation than previously observed: the server lost its session table
+// (crash/restart) and the exchange's fate there is unknown. Unlike
+// ErrStaleSession this is recoverable — re-establish the session (hello →
+// resync) and continue; the resilient worker loop does exactly that.
+var ErrServerRestarted = errors.New("transport: server restarted (new incarnation)")
 
 func encodeSessionReq(flags byte, session, seq uint64, payload []byte) []byte {
 	return appendSessionReq(nil, flags, session, seq, payload)
@@ -112,24 +130,36 @@ func IsSessionFrame(b []byte) bool {
 	return len(b) >= reqHeaderLen && binary.LittleEndian.Uint32(b) == sessionReqMagic
 }
 
-func encodeSessionResp(status byte, epoch uint64, payload []byte) []byte {
+func encodeSessionResp(status byte, epoch, incarnation uint64, payload []byte) []byte {
 	buf := make([]byte, respHeaderLen+len(payload))
 	binary.LittleEndian.PutUint32(buf, sessionRespMagic)
 	buf[4] = sessionVersion
 	buf[5] = status
 	binary.LittleEndian.PutUint64(buf[6:], epoch)
+	binary.LittleEndian.PutUint64(buf[14:], incarnation)
 	copy(buf[respHeaderLen:], payload)
 	return buf
 }
 
-func decodeSessionResp(b []byte) (status byte, epoch uint64, payload []byte, err error) {
+func decodeSessionResp(b []byte) (status byte, epoch, incarnation uint64, payload []byte, err error) {
 	if len(b) < respHeaderLen || binary.LittleEndian.Uint32(b) != sessionRespMagic {
-		return 0, 0, nil, errors.New("transport: not a session response")
+		return 0, 0, 0, nil, errors.New("transport: not a session response")
 	}
 	if b[4] != sessionVersion {
-		return 0, 0, nil, fmt.Errorf("transport: session protocol version %d unsupported", b[4])
+		return 0, 0, 0, nil, fmt.Errorf("transport: session protocol version %d unsupported", b[4])
 	}
-	return b[5], binary.LittleEndian.Uint64(b[6:]), b[respHeaderLen:], nil
+	return b[5], binary.LittleEndian.Uint64(b[6:]), binary.LittleEndian.Uint64(b[14:]), b[respHeaderLen:], nil
+}
+
+// patchSessionRespIncarnation rewrites the incarnation field of an encoded
+// session response in place. Used by fault injection (FaultConfig.
+// ServerRestart) to simulate a restarted server without a process kill;
+// non-session payloads are left untouched.
+func patchSessionRespIncarnation(b []byte, delta uint64) {
+	if len(b) < respHeaderLen || binary.LittleEndian.Uint32(b) != sessionRespMagic {
+		return
+	}
+	binary.LittleEndian.PutUint64(b[14:], binary.LittleEndian.Uint64(b[14:])+delta)
 }
 
 // SessionClient implements Transport on top of an inner transport (normally
@@ -150,6 +180,10 @@ type SessionClient struct {
 	seq         uint64
 	established bool
 	epoch       uint64
+	// serverInc is the server incarnation pinned on the first response
+	// (0 = none yet). A response carrying any other value surfaces
+	// ErrServerRestarted, see the protocol comment above.
+	serverInc uint64
 }
 
 // NewSessionClient wraps an inner transport with a fresh random session.
@@ -195,16 +229,32 @@ func (c *SessionClient) Exchange(worker int, payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	status, epoch, body, err := decodeSessionResp(raw)
+	status, epoch, inc, body, err := decodeSessionResp(raw)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
 	c.epoch = epoch
-	if status == statusOK {
+	restarted := false
+	switch {
+	case c.serverInc == 0:
+		c.serverInc = inc
+	case inc != c.serverInc:
+		// The server lost its session table: adopt the new incarnation and
+		// fall back to un-established so the next exchange says hello. A
+		// stale-session bounce from a restarted server lands here rather
+		// than in the fatal ErrStaleSession branch below.
+		restarted = true
+		c.serverInc = inc
+		c.established = false
+	}
+	if status == statusOK && !restarted {
 		c.established = true
 	}
 	c.mu.Unlock()
+	if restarted {
+		return nil, fmt.Errorf("%w (worker %d)", ErrServerRestarted, worker)
+	}
 	switch status {
 	case statusOK:
 		return body, nil
@@ -300,14 +350,32 @@ type ExactlyOnce struct {
 	// client PipelineDepth; set it before the first exchange.
 	Window int
 
+	// incarnation identifies this server process in every response (see the
+	// restart-detection protocol comment). Immutable once serving begins.
+	incarnation uint64
+
 	mu      sync.Mutex
 	workers map[int]*workerSession
 	stats   SessionStats
 }
 
-// NewExactlyOnce wraps a handler. onJoin may be nil.
+// NewExactlyOnce wraps a handler. onJoin may be nil. The middleware draws a
+// fresh random incarnation id: by construction a restarted server announces
+// a different incarnation than its predecessor.
 func NewExactlyOnce(h Handler, onJoin func(worker int) error) *ExactlyOnce {
-	return &ExactlyOnce{h: h, onJoin: onJoin, workers: map[int]*workerSession{}}
+	return &ExactlyOnce{h: h, onJoin: onJoin, workers: map[int]*workerSession{}, incarnation: randomSession()}
+}
+
+// Incarnation returns the server incarnation id sent in every response.
+func (e *ExactlyOnce) Incarnation() uint64 { return e.incarnation }
+
+// SetIncarnation overrides the incarnation id (tests; must run before the
+// first exchange is served). Zero is reserved and rejected.
+func (e *ExactlyOnce) SetIncarnation(id uint64) {
+	if id == 0 {
+		panic("transport: zero server incarnation is reserved")
+	}
+	e.incarnation = id
 }
 
 // Stats snapshots the middleware counters.
@@ -360,7 +428,7 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 			// never said hello): fence it off without touching state.
 			e.count(func(s *SessionStats) { s.StaleRejected++ })
 			tmet.sessStale.Inc()
-			return encodeSessionResp(statusStaleSession, ws.epoch, nil), nil
+			return encodeSessionResp(statusStaleSession, ws.epoch, e.incarnation, nil), nil
 		}
 		// New incarnation: bump the epoch, resync, adopt. The hello frame
 		// itself then executes as the incarnation's first exchange, so its
@@ -368,7 +436,7 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 		// handler is a DGS parameter server).
 		if e.onJoin != nil {
 			if err := e.onJoin(worker); err != nil {
-				return encodeSessionResp(statusError, ws.epoch,
+				return encodeSessionResp(statusError, ws.epoch, e.incarnation,
 					[]byte(fmt.Sprintf("join worker %d: %v", worker, err))), nil
 			}
 		}
@@ -398,7 +466,7 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 		}
 		e.count(func(s *SessionStats) { s.BadSeq++ })
 		tmet.sessBadSeq.Inc()
-		return encodeSessionResp(statusBadSeq, ws.epoch, nil), nil
+		return encodeSessionResp(statusBadSeq, ws.epoch, e.incarnation, nil), nil
 	case seq == ws.lastSeq+1:
 		resp, herr := e.h(worker, app)
 		var enc []byte
@@ -407,9 +475,9 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 			// applying it (decode errors precede any mutation), and a retry
 			// of the same bytes must fail identically rather than re-enter
 			// the handler.
-			enc = encodeSessionResp(statusError, ws.epoch, []byte(herr.Error()))
+			enc = encodeSessionResp(statusError, ws.epoch, e.incarnation, []byte(herr.Error()))
 		} else {
-			enc = encodeSessionResp(statusOK, ws.epoch, resp)
+			enc = encodeSessionResp(statusOK, ws.epoch, e.incarnation, resp)
 		}
 		ws.lastSeq = seq
 		ws.store(seq, enc)
@@ -422,6 +490,6 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 		// means two live clients share a session (a protocol violation).
 		e.count(func(s *SessionStats) { s.BadSeq++ })
 		tmet.sessBadSeq.Inc()
-		return encodeSessionResp(statusBadSeq, ws.epoch, nil), nil
+		return encodeSessionResp(statusBadSeq, ws.epoch, e.incarnation, nil), nil
 	}
 }

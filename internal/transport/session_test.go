@@ -46,13 +46,13 @@ func TestSessionEnvelopeRoundTrip(t *testing.T) {
 	if flags != flagHello || sess != 0xdeadbeef || seq != 42 || !bytes.Equal(body, []byte("payload")) {
 		t.Fatalf("decoded %x %x %d %q", flags, sess, seq, body)
 	}
-	resp := encodeSessionResp(statusOK, 7, []byte("resp"))
-	st, epoch, rbody, err := decodeSessionResp(resp)
+	resp := encodeSessionResp(statusOK, 7, 11, []byte("resp"))
+	st, epoch, inc, rbody, err := decodeSessionResp(resp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st != statusOK || epoch != 7 || !bytes.Equal(rbody, []byte("resp")) {
-		t.Fatalf("decoded %x %d %q", st, epoch, rbody)
+	if st != statusOK || epoch != 7 || inc != 11 || !bytes.Equal(rbody, []byte("resp")) {
+		t.Fatalf("decoded %x %d %d %q", st, epoch, inc, rbody)
 	}
 	if IsSessionFrame([]byte("short")) || IsSessionFrame(nil) {
 		t.Fatal("non-session payloads must not be recognised")
@@ -122,7 +122,7 @@ func TestExactlyOnceHelloTriggersJoinOnce(t *testing.T) {
 	if joins.Load() != 2 {
 		t.Fatalf("rejoin did not trigger the hook (%d joins)", joins.Load())
 	}
-	_, epoch, _, err := decodeSessionResp(resp)
+	_, epoch, _, _, err := decodeSessionResp(resp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestExactlyOnceFencesStaleIncarnation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, _, _, err := decodeSessionResp(resp)
+	st, _, _, _, err := decodeSessionResp(resp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestExactlyOnceRejectsSequenceGap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, _, _, _ := decodeSessionResp(resp)
+	st, _, _, _, _ := decodeSessionResp(resp)
 	if st != statusBadSeq {
 		t.Fatalf("status 0x%02x, want bad seq", st)
 	}
@@ -200,7 +200,7 @@ func TestExactlyOnceCachesHandlerErrors(t *testing.T) {
 	if !bytes.Equal(r1, r2) {
 		t.Fatal("replayed error frame differs")
 	}
-	st, _, body, _ := decodeSessionResp(r1)
+	st, _, _, body, _ := decodeSessionResp(r1)
 	if st != statusError || len(body) == 0 {
 		t.Fatalf("status 0x%02x body %q, want cached error frame", st, body)
 	}

@@ -50,6 +50,11 @@ const muxWorkerFlag = 1 << 31
 const (
 	statusOK    = 0x00
 	statusError = 0x01
+	// statusRetry is an overload rejection (admission control / drain, see
+	// Gate): the handler was never invoked, the connection is intact, and
+	// the same frame should be re-sent after the hinted delay. The payload
+	// is a u32 retry-after hint in milliseconds.
+	statusRetry = 0x04
 )
 
 // ServerError is an application-level failure reported by the server through
@@ -61,6 +66,44 @@ type ServerError struct{ Msg string }
 
 // Error implements error.
 func (e *ServerError) Error() string { return "transport: server error: " + e.Msg }
+
+// RetryAfterError is an admission-control rejection (see Gate): the server
+// is overloaded or draining and refused the request WITHOUT executing it.
+// Unlike ServerError, re-sending the same frame after the hinted delay is
+// expected to succeed; unlike a network fault, the connection is intact, so
+// retry layers back off without redialling.
+type RetryAfterError struct {
+	// After is the server's suggested minimum delay before retrying.
+	After time.Duration
+}
+
+// Error implements error.
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("transport: server busy, retry after %v", e.After)
+}
+
+// encodeRetryHint packs the retry-after hint for a statusRetry frame.
+func encodeRetryHint(dst []byte, after time.Duration) []byte {
+	ms := after.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > 1<<31 {
+		ms = 1 << 31
+	}
+	dst = dst[:0]
+	dst = append(dst, byte(ms), byte(ms>>8), byte(ms>>16), byte(ms>>24))
+	return dst
+}
+
+// decodeRetryHint unpacks a statusRetry payload (lenient: a malformed hint
+// degrades to zero, leaving the retry layer's own backoff in charge).
+func decodeRetryHint(b []byte) time.Duration {
+	if len(b) < 4 {
+		return 0
+	}
+	return time.Duration(binary.LittleEndian.Uint32(b)) * time.Millisecond
+}
 
 // ErrBrokenConn is returned by TCPClient.Exchange after a previous exchange
 // failed partway through a frame. The stream position is then unknown
@@ -153,6 +196,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	// response is written before the next frame is read, and anything
 	// retained longer (the exactly-once replay cache) is freshly encoded.
 	var payload []byte
+	// hint is the statusRetry payload scratch (admission rejections must not
+	// allocate — an overloaded server is exactly when that matters).
+	hint := make([]byte, 0, 4)
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
@@ -195,12 +241,23 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		tmet.handlerSeconds.Observe(time.Since(h0).Seconds())
 		status := byte(statusOK)
 		if err != nil {
-			// Handler failure: report it as an explicit error frame and keep
-			// serving. Dropping the connection here would masquerade as a
-			// network fault and trigger a pointless (or, pre-session-layer,
-			// unsafe) retry on the client.
-			status = statusError
-			resp = []byte(err.Error())
+			var ra *RetryAfterError
+			if errors.As(err, &ra) {
+				// Admission rejection: a dedicated status so the client can
+				// tell "back off and re-send" apart from both a handler
+				// failure (which would fail again) and a network fault
+				// (which would tear the connection down).
+				status = statusRetry
+				hint = encodeRetryHint(hint, ra.After)
+				resp = hint
+			} else {
+				// Handler failure: report it as an explicit error frame and
+				// keep serving. Dropping the connection here would masquerade
+				// as a network fault and trigger a pointless (or,
+				// pre-session-layer, unsafe) retry on the client.
+				status = statusError
+				resp = []byte(err.Error())
+			}
 		}
 		binary.LittleEndian.PutUint32(rhdr[:4], uint32(len(resp)))
 		rhdr[4] = status
@@ -364,7 +421,13 @@ func (c *TCPClient) exchange(worker int, payload []byte) ([]byte, error) {
 			return nil, fmt.Errorf("transport: clear deadline: %w", err)
 		}
 	}
-	if status != statusOK {
+	switch status {
+	case statusOK:
+	case statusRetry:
+		// Admission rejection: the frame was intact and never executed, so
+		// the connection stays usable and a re-send after the hint is safe.
+		return nil, &RetryAfterError{After: decodeRetryHint(resp)}
+	default:
 		// The frame itself was intact, so the connection stays usable.
 		return nil, &ServerError{Msg: string(resp)}
 	}
