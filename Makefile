@@ -51,9 +51,12 @@ bench-paper:
 # zero-allocation invariants), then the pipelined-exchange gate (the
 # depth-2-vs-depth-1 steps/sec ratio is measured within one run, so the
 # 1.3x floor is portable, as is the zero-alloc TCP exchange), then the
-# many-worker server gate (dirty-tracking vs single-mutex pushes/sec at 8
-# workers, also a within-run ratio, floored at 2x). SMOKE_OUT,
-# PIPE_SMOKE_OUT and SERVER_SMOKE_OUT are uploaded as CI artifacts.
+# many-worker server gates (all within-run ratios: dirty-tracking vs
+# single-mutex pushes/sec at 8 workers floored at 2x, residual-summary
+# secondary gather vs the full-scan Top-k baseline floored at 3x, and the
+# cnn workload's scan/skip ratio floored at 0.5 under auto block-shift).
+# SMOKE_OUT, PIPE_SMOKE_OUT and SERVER_SMOKE_OUT are uploaded as CI
+# artifacts.
 SMOKE_BENCHTIME ?= 100ms
 SMOKE_OUT ?= bench-smoke.json
 PIPE_SMOKE_STEPS ?= 60
@@ -69,6 +72,6 @@ bench-smoke:
 	go run ./cmd/dgs-bench -pipebench -pipe-steps $(PIPE_SMOKE_STEPS) -json $(PIPE_SMOKE_OUT)
 	go run ./cmd/dgs-benchdiff -pipeline -baseline BENCH_PR4.json -current $(PIPE_SMOKE_OUT)
 	go run ./cmd/dgs-bench -serverbench -server-pushes $(SERVER_SMOKE_PUSHES) -json $(SERVER_SMOKE_OUT)
-	go run ./cmd/dgs-benchdiff -server -baseline BENCH_PR5.json -current $(SERVER_SMOKE_OUT)
+	go run ./cmd/dgs-benchdiff -server -baseline BENCH_PR7.json -current $(SERVER_SMOKE_OUT)
 	go run ./cmd/dgs-bench -ckptbench -server-pushes $(CKPT_SMOKE_PUSHES) -json $(CKPT_SMOKE_OUT)
 	go run ./cmd/dgs-benchdiff -checkpoint -baseline BENCH_PR6.json -current $(CKPT_SMOKE_OUT)

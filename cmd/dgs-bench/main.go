@@ -10,7 +10,7 @@
 //	dgs-bench -exp figure2 -out dir   # also write report text files
 //	dgs-bench -microbench             # kernel/hot-path benchmarks → BENCH_PR2.json
 //	dgs-bench -pipebench              # pipelined-exchange benchmark → BENCH_PR4.json
-//	dgs-bench -serverbench            # many-worker server saturation → BENCH_PR5.json
+//	dgs-bench -serverbench            # many-worker server saturation → BENCH_PR7.json
 //	dgs-bench -microbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -40,7 +40,7 @@ func main() {
 		pipe       = flag.Bool("pipebench", false, "run the pipelined-exchange benchmark and write a JSON report")
 		server     = flag.Bool("serverbench", false, "run the many-worker server saturation benchmark and write a JSON report")
 		ckpt       = flag.Bool("ckptbench", false, "run the checkpoint capture/interference benchmark and write a JSON report")
-		microOut   = flag.String("json", "", "report path (default BENCH_PR2.json for -microbench, BENCH_PR4.json for -pipebench, BENCH_PR5.json for -serverbench, BENCH_PR6.json for -ckptbench)")
+		microOut   = flag.String("json", "", "report path (default BENCH_PR2.json for -microbench, BENCH_PR4.json for -pipebench, BENCH_PR7.json for -serverbench, BENCH_PR6.json for -ckptbench)")
 		benchtime  = flag.String("benchtime", "", "per-benchmark time or count for -microbench (e.g. 1s, 100x)")
 		pipeSteps  = flag.Int("pipe-steps", 0, "measured steps per pipelined run (0 = default 240)")
 		pipeRTT    = flag.Duration("pipe-rtt", 0, "simulated round-trip time (0 = auto-calibrated from compute)")
@@ -103,7 +103,7 @@ func main() {
 	if *server {
 		path := *microOut
 		if path == "" {
-			path = "BENCH_PR5.json"
+			path = "BENCH_PR7.json"
 		}
 		if err := runServer(path, *serverPush); err != nil {
 			fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
@@ -203,15 +203,16 @@ func runServer(path string, pushesPerWorker int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("block size %d, %d pushes per worker\n", rep.BlockSize, rep.PushesPerWorker)
+	fmt.Printf("%d pushes per worker\n", rep.PushesPerWorker)
 	for _, r := range rep.Results {
-		fmt.Printf("%-14s %2d workers %d shard(s): %9.0f pushes/sec (p99 %7.0f µs) vs baseline %9.0f (p99 %7.0f µs) = %5.2fx, %4.1f%% blocks skipped\n",
-			r.Workload, r.Workers, r.Shards,
+		fmt.Printf("%-15s %2d workers %d shard(s) block %4d: %9.0f pushes/sec (p99 %7.0f µs) vs baseline %9.0f (p99 %7.0f µs) = %5.2fx, %4.1f%% blocks skipped\n",
+			r.Workload, r.Workers, r.Shards, r.BlockSize,
 			r.PushesPerSec, r.P99Micros,
 			r.BaselinePushesPerSec, r.BaselineP99Micros,
 			r.Speedup, 100*r.ScanSkipRatio)
 	}
-	fmt.Printf("gated speedup (embed, 8 workers): %.2fx\n", rep.SpeedupAt8)
+	fmt.Printf("gated: embed 8-worker %.2fx, secondary 8-worker %.2fx, cnn skip ratio %.3f\n",
+		rep.SpeedupAt8, rep.SecondarySpeedupAt8, rep.CNNScanSkipRatio)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -54,7 +54,7 @@ func main() {
 		ratio     = flag.Float64("ratio", 0.01, "secondary compression keep ratio")
 		denseDown = flag.Bool("dense-down", false, "ship the whole model downward (ASGD mode)")
 		shards    = flag.Int("shards", 1, "partition layers across this many lock-independent shards")
-		blockSize = flag.Int("block-size", 0, "dirty-tracking block size in elements (power of two; 0 = default 1024)")
+		blockSize = flag.Int("block-size", 0, "dirty-tracking block size in elements (power of two; 0 = auto-tune from the layer geometry)")
 		statEvery = flag.Duration("stats", 10*time.Second, "stats print interval")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-exchange deadline (0 disables)")
 

@@ -33,23 +33,47 @@ type ServerPoint struct {
 
 	// ScanSkipRatio is the fraction of dirty-tracking blocks the diff proved
 	// untouched and skipped (skipped / (scanned + skipped)); 0 for the
-	// baseline, which always scans the full model.
+	// baseline, which always scans the full model. For secondary workloads
+	// "skipped" includes residual-summary skips (clean blocks whose max
+	// residual provably falls below the Top-k threshold).
 	ScanSkipRatio float64 `json:"scan_skip_ratio"`
+
+	// BlockSize is the resolved dirty-tracking block size for this point.
+	// With auto block-shift it depends on the workload geometry (1024 for
+	// the embed tables, 4 for the cnn layer mix), so it is per-point.
+	BlockSize int `json:"block_size"`
 }
 
 // ServerReport is the many-worker saturation benchmark serialised to
-// BENCH_PR5.json.
+// BENCH_PR7.json.
 type ServerReport struct {
-	GoVersion       string `json:"go_version"`
-	GoMaxProcs      int    `json:"gomaxprocs"`
-	BlockSize       int    `json:"block_size"`
-	PushesPerWorker int    `json:"pushes_per_worker"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// BlockSize is the embed workload's resolved block size, kept for
+	// report continuity; per-workload sizes live on each ServerPoint now
+	// that auto block-shift adapts to the layer geometry.
+	BlockSize       int `json:"block_size"`
+	PushesPerWorker int `json:"pushes_per_worker"`
 
 	Results []ServerPoint `json:"results"`
 
 	// SpeedupAt8 is the gated number: the embed workload's 8-worker speedup
 	// over the single-mutex baseline, measured in this run.
 	SpeedupAt8 float64 `json:"speedup_embed_8_workers"`
+
+	// SecondarySpeedupAt8 is the second gated number: with secondary
+	// compression on for both sides, the residual-summary server's 8-worker
+	// pushes/sec over the full-scan BaselineServer (which recomputes the
+	// per-layer Top-k over the complete M−v_k diff on every push), measured
+	// in this run on the embed workload.
+	SecondarySpeedupAt8 float64 `json:"speedup_secondary_8_workers"`
+
+	// CNNScanSkipRatio is the third gated number: the cnn workload's
+	// scan/skip ratio. With the fixed 1024-element default blocks the
+	// dominant 65536-element layer kept every block dirty (ratio ~0.001);
+	// auto block-shift resolves the mixed geometry finely enough that the
+	// diff proves most blocks untouched.
+	CNNScanSkipRatio float64 `json:"cnn_scan_skip_ratio"`
 }
 
 // Embed workload geometry: four embedding tables, row-clustered sparse
@@ -68,9 +92,9 @@ const (
 
 // cnnSizes mirrors the ps package's benchmark geometry (a small conv net's
 // layer sizes): many small layers plus one dominant 65536-element block.
-// With uniform top-1% updates nearly every 1024-element block of the big
-// layer stays dirty, so this workload bounds the benefit from below — it is
-// reported for honesty, not gated.
+// With uniform top-1% updates and fixed 1024-element blocks nearly every
+// block of the big layer stayed dirty; auto block-shift now resolves this
+// geometry at 4-element blocks and the scan/skip ratio is gated.
 var cnnSizes = []int{864, 32, 9216, 32, 18432, 64, 65536, 128, 1280, 10}
 
 // serverTarget is the common surface of ps.Server, ps.ShardedServer and
@@ -196,13 +220,24 @@ func runSaturation(srv serverTarget, updates [][]sparse.Update, workers, pushesP
 
 // measurePoint benchmarks one (workload, workers, shards) cell: baseline
 // first, then the dirty-tracking server, on identical pre-generated updates.
-func measurePoint(workload string, sizes []int, updates [][]sparse.Update, workers, shards, pushesPerWorker int) ServerPoint {
-	pt := ServerPoint{Workload: workload, Workers: workers, Shards: shards}
+// A secondaryRatio > 0 turns on secondary compression for BOTH sides, so the
+// speedup isolates the residual-summary gather against the full-scan Top-k
+// the BaselineServer performs — the same within-run, machine-relative
+// methodology as every other gate.
+func measurePoint(workload string, sizes []int, updates [][]sparse.Update, workers, shards, pushesPerWorker int, secondaryRatio float64) ServerPoint {
+	pt := ServerPoint{Workload: workload, Workers: workers, Shards: shards,
+		BlockSize: 1 << sparse.AutoBlockShift(sizes)}
 
-	base := ps.NewBaselineServer(ps.Config{LayerSizes: sizes, Workers: workers})
+	baseCfg := ps.Config{LayerSizes: sizes, Workers: workers}
+	cfg := ps.Config{LayerSizes: sizes, Workers: workers, Quiet: true}
+	if secondaryRatio > 0 {
+		baseCfg.Secondary, baseCfg.SecondaryRatio = true, secondaryRatio
+		cfg.Secondary, cfg.SecondaryRatio = true, secondaryRatio
+	}
+
+	base := ps.NewBaselineServer(baseCfg)
 	pt.BaselinePushesPerSec, pt.BaselineP99Micros = runSaturation(base, updates, workers, pushesPerWorker)
 
-	cfg := ps.Config{LayerSizes: sizes, Workers: workers, Quiet: true}
 	var cur serverTarget
 	if shards > 1 {
 		cur = ps.NewShardedServer(cfg, shards)
@@ -229,21 +264,21 @@ func RunServer(pushesPerWorker int) (*ServerReport, error) {
 	if pushesPerWorker <= 0 {
 		pushesPerWorker = 256
 	}
-	rep := &ServerReport{
-		GoVersion:       runtime.Version(),
-		GoMaxProcs:      runtime.GOMAXPROCS(0),
-		BlockSize:       1 << sparse.DefaultBlockShift,
-		PushesPerWorker: pushesPerWorker,
-	}
-
 	const variants = 4
 	rng := tensor.NewRNG(0x5E44)
 	embedSizes := embedLayerSizes()
 
+	rep := &ServerReport{
+		GoVersion:       runtime.Version(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		BlockSize:       1 << sparse.AutoBlockShift(embedSizes),
+		PushesPerWorker: pushesPerWorker,
+	}
+
 	// Embed workload across the worker sweep — the 8-worker row is gated.
 	for _, n := range []int{1, 2, 4, 8} {
 		upd := embedUpdates(rng, n, variants)
-		pt := measurePoint("embed", embedSizes, upd, n, 1, pushesPerWorker)
+		pt := measurePoint("embed", embedSizes, upd, n, 1, pushesPerWorker, 0)
 		rep.Results = append(rep.Results, pt)
 		if n == 8 {
 			rep.SpeedupAt8 = pt.Speedup
@@ -253,13 +288,25 @@ func RunServer(pushesPerWorker int) (*ServerReport, error) {
 	// Sharded embed at 8 workers: layer-parallel shards stack on top of the
 	// dirty tracking (each shard has its own write lock).
 	updSharded := embedUpdates(rng, 8, variants)
-	rep.Results = append(rep.Results, measurePoint("embed_sharded", embedSizes, updSharded, 8, 4, pushesPerWorker))
+	rep.Results = append(rep.Results, measurePoint("embed_sharded", embedSizes, updSharded, 8, 4, pushesPerWorker, 0))
 
-	// CNN geometry, informational: uniform top-1% updates leave most blocks
-	// of the dominant layer dirty, bounding the dirty-tracking benefit from
-	// below.
+	// Secondary compression at 8 workers, gated: both sides keep the top 1%
+	// of the downward difference, but the baseline rescans every element of
+	// M−v_k per push while the residual-summary server narrows the Top-k to
+	// dirty and residual-bearing blocks.
+	updSec := embedUpdates(rng, 8, variants)
+	ptSec := measurePoint("embed_secondary", embedSizes, updSec, 8, 1, pushesPerWorker, 0.01)
+	rep.Results = append(rep.Results, ptSec)
+	rep.SecondarySpeedupAt8 = ptSec.Speedup
+
+	// CNN geometry, gated on the scan/skip ratio: uniform top-1% updates
+	// left nearly every 1024-element block of the dominant layer dirty
+	// (ratio ~0.001 through PR 6); auto block-shift picks 4-element blocks
+	// for this mixed geometry and the diff skips the majority of the model.
 	updCNN := cnnUpdates(rng, 8, variants)
-	rep.Results = append(rep.Results, measurePoint("cnn", cnnSizes, updCNN, 8, 1, pushesPerWorker))
+	ptCNN := measurePoint("cnn", cnnSizes, updCNN, 8, 1, pushesPerWorker, 0)
+	rep.Results = append(rep.Results, ptCNN)
+	rep.CNNScanSkipRatio = ptCNN.ScanSkipRatio
 
 	return rep, nil
 }

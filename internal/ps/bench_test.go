@@ -34,6 +34,20 @@ func TestPushSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestSecondaryPushSteadyStateAllocs extends the zero-allocation invariant
+// to the secondary path: candidate lists, segment tables, pending lists,
+// selection marks, and the Top-k selector scratch must all reach a steady
+// footprint after warmup.
+func TestSecondaryPushSteadyStateAllocs(t *testing.T) {
+	srv := NewServer(Config{LayerSizes: benchSizes, Workers: 1, Secondary: true, SecondaryRatio: 0.01})
+	g := benchUpdate(tensor.NewRNG(41), benchSizes)
+	srv.Push(0, g)
+	srv.Push(0, g)
+	if allocs := testing.AllocsPerRun(10, func() { srv.Push(0, g) }); allocs > 0 {
+		t.Fatalf("steady-state secondary Push allocates %v objects, want 0", allocs)
+	}
+}
+
 // TestPushResultValidUntilNextPush documents the aliasing contract: a
 // worker's downward update stays intact across other workers' pushes and is
 // only overwritten by its own next exchange.

@@ -186,6 +186,11 @@ func (s *Server) restoreFrom(ss *checkpoint.ShardState) {
 			copy(w.v[layer], sw.V[layer])
 			copy(w.resid[layer], sw.Resid[layer])
 		}
+		// Residual summaries (secondary path) are not persisted: the restored
+		// worker has syncVer > 0 with zeroed smax, which would wrongly skip
+		// clean blocks still holding residual mass. Force one full rebuild
+		// scan on the next gather.
+		w.sumStale = true
 	}
 }
 
@@ -263,8 +268,8 @@ func checkLayerPlacement(got, want []int, sh int) error {
 }
 
 // RestoreShardedServer rebuilds a sharded server from a checkpoint. The
-// shard count and the deterministic greedy layer placement must match the
-// checkpoint's (same cfg.LayerSizes and shard count reproduce it).
+// shard count and the deterministic cost-model LPT layer placement must
+// match the checkpoint's (same cfg.LayerSizes and shard count reproduce it).
 func RestoreShardedServer(cfg Config, numShards int, st *checkpoint.State) (*ShardedServer, error) {
 	s := NewShardedServer(cfg, numShards)
 	if len(st.Shards) != len(s.shards) {

@@ -112,6 +112,52 @@ func TestCaptureRestoreRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSecondaryCaptureRestoreRoundTrip is the restore path's sharp edge for
+// the residual summaries: checkpoints do not persist smax/snnz, and a
+// restored secondary worker has syncVer > 0 — without the forced rebuild
+// scan (workerState.sumStale) it would trust its zeroed summaries, skip
+// clean blocks that still hold suppressed residual mass, and its downward
+// differences would silently diverge from the original server's.
+func TestSecondaryCaptureRestoreRoundTrip(t *testing.T) {
+	cfg := captureConfig()
+	cfg.Secondary = true
+	cfg.SecondaryRatio = 0.05
+	rng := rand.New(rand.NewSource(17))
+	s := NewServer(cfg)
+	// Enough pushes that every worker carries real suppressed residual.
+	drive(t, s, rng, cfg.LayerSizes, 60)
+
+	st := s.NewCaptureState()
+	st.Incarnation, st.Seq = 3, 1
+	if _, err := s.Capture(st); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := checkpoint.Decode(checkpoint.Encode(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreServer(cfg, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical future: the restored server must ship bitwise-identical
+	// secondary-compressed differences, including residual mass that went
+	// version-clean before the capture.
+	seq := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		u := randUpdate(seq, cfg.LayerSizes, 5)
+		w := i % cfg.Workers
+		gs, ts1 := s.Push(w, cloneUpdate(u))
+		gr, ts2 := r.Push(w, cloneUpdate(u))
+		if ts1 != ts2 {
+			t.Fatalf("push %d: timestamps %d vs %d", i, ts1, ts2)
+		}
+		if !updatesEqual(&gs, &gr) {
+			t.Fatalf("push %d: secondary downward differences diverge after restore", i)
+		}
+	}
+}
+
 func cloneUpdate(u *sparse.Update) *sparse.Update {
 	out := &sparse.Update{}
 	for i := range u.Chunks {

@@ -73,7 +73,10 @@ func requireSameState(t *testing.T, label string, sizes []int, got, want pusherU
 		}
 	}
 	gs, ws := got.Stats(), want.Stats()
-	gs.DiffBlocksScanned, gs.DiffBlocksSkipped = 0, 0 // baseline has no diff tracking
+	// The baseline has no diff tracking and no candidate-narrowed secondary
+	// path; those counters are expected to diverge.
+	gs.DiffBlocksScanned, gs.DiffBlocksSkipped = 0, 0
+	gs.SecondaryCandidates, gs.SecondaryRounds = 0, 0
 	if gs != ws {
 		t.Fatalf("%s: stats %+v, baseline %+v", label, gs, ws)
 	}
@@ -95,6 +98,16 @@ func TestPushEquivalence(t *testing.T) {
 		{"tiny_blocks", Config{LayerSizes: []int{17, 1000, 3}, Workers: 3, BlockShift: 4, Quiet: true}},
 		{"one_big_layer", Config{LayerSizes: []int{4096}, Workers: 2, BlockShift: 5, Quiet: true}},
 		{"secondary", Config{LayerSizes: []int{64, 257}, Workers: 3, Secondary: true, SecondaryRatio: 0.1, Quiet: true}},
+		// KForRatio boundaries: a ratio small enough that every layer floors
+		// at k = 1, and ratio 1.0 where k = n always exceeds nnz and the
+		// clamp to the exact layer-wide nonzero count must agree with the
+		// baseline's full-scan nnz on every exchange.
+		{"secondary_k_floor", Config{LayerSizes: []int{64, 257}, Workers: 3, Secondary: true, SecondaryRatio: 1e-9, Quiet: true}},
+		{"secondary_half", Config{LayerSizes: []int{17, 1000, 3}, Workers: 3, Secondary: true, SecondaryRatio: 0.5, Quiet: true}},
+		{"secondary_keep_all", Config{LayerSizes: []int{64, 257}, Workers: 2, Secondary: true, SecondaryRatio: 1.0, Quiet: true}},
+		// Tiny blocks make the candidate set span many blocks, exercising the
+		// pending-promotion loop and per-block summary maintenance hard.
+		{"secondary_tiny_blocks", Config{LayerSizes: []int{17, 1000, 3}, Workers: 3, Secondary: true, SecondaryRatio: 0.1, BlockShift: 4, Quiet: true}},
 		{"dense_downward", Config{LayerSizes: []int{33, 80}, Workers: 2, DenseDownward: true, Quiet: true}},
 	}
 	for _, tc := range cases {

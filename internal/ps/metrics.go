@@ -22,6 +22,8 @@ type metrics struct {
 	lockWait      *telemetry.Histogram
 	blocksScanned *telemetry.Counter
 	blocksSkipped *telemetry.Counter
+	secCand       *telemetry.Counter
+	secRounds     *telemetry.Counter
 	staleness     []*telemetry.Histogram // per worker
 	modelSize     float64
 }
@@ -32,7 +34,7 @@ type metrics struct {
 // never on the push path.
 type pushRate struct {
 	mu    sync.Mutex
-	src   *telemetry.Counter
+	src   func() uint64
 	last  uint64
 	at    time.Time
 	valid bool
@@ -42,7 +44,7 @@ func (p *pushRate) rate() float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	now := time.Now()
-	cur := p.src.Value()
+	cur := p.src()
 	var r float64
 	if p.valid {
 		if dt := now.Sub(p.at).Seconds(); dt > 0 {
@@ -77,9 +79,13 @@ func newMetrics(layerSizes []int, workers int) *metrics {
 			"Dirty-tracking blocks visited while computing downward differences."),
 		blocksSkipped: reg.Counter("dgs_ps_diff_blocks_skipped_total",
 			"Dirty-tracking blocks proved untouched and skipped by the diff."),
+		secCand: reg.Counter("dgs_ps_secondary_candidates_total",
+			"Coordinates entering the secondary Top-k candidate list (full scan would be pushes x model size)."),
+		secRounds: reg.Counter("dgs_ps_secondary_rounds_total",
+			"Threshold-promotion rounds run by the secondary gather (near one per push means the carried threshold held)."),
 		staleness: make([]*telemetry.Histogram, workers),
 	}
-	rate := &pushRate{src: m.pushes}
+	rate := &pushRate{src: m.pushes.Value}
 	reg.GaugeFunc("dgs_ps_pushes_per_sec",
 		"Push throughput since the previous metrics collection.", rate.rate)
 	for k := range m.staleness {
@@ -94,7 +100,7 @@ func newMetrics(layerSizes []int, workers int) *metrics {
 }
 
 // observePush records one completed exchange. All paths are alloc-free.
-func (m *metrics) observePush(worker int, stale, upNNZ, downNNZ uint64, lockWait time.Duration, scanned, skipped uint64) {
+func (m *metrics) observePush(worker int, stale, upNNZ, downNNZ uint64, lockWait time.Duration, scanned, skipped, secCand, secRounds uint64) {
 	if m == nil {
 		return
 	}
@@ -105,6 +111,8 @@ func (m *metrics) observePush(worker int, stale, upNNZ, downNNZ uint64, lockWait
 	m.lockWait.Observe(lockWait.Seconds())
 	m.blocksScanned.Add(scanned)
 	m.blocksSkipped.Add(skipped)
+	m.secCand.Add(secCand)
+	m.secRounds.Add(secRounds)
 	if m.modelSize > 0 {
 		m.density.Set(float64(downNNZ) / m.modelSize)
 	}
@@ -116,4 +124,37 @@ func (m *metrics) observeResync() {
 		return
 	}
 	m.resyncs.Inc()
+}
+
+// registerShardMetrics exposes a ShardedServer's per-shard counters as
+// labelled children in /metrics. The shards themselves run Quiet (the
+// wrapper counts each logical push exactly once), so these are GaugeFunc
+// views over the shard atomics rather than a second set of incremented
+// counters — no double counting, no hot-path cost, and a distinct metric
+// family name so the shard breakdown never aliases the logical totals.
+func registerShardMetrics(shards []*Server) {
+	reg := telemetry.Default()
+	for i, shard := range shards {
+		sh := shard // capture per iteration
+		label := strconv.Itoa(i)
+		reg.GaugeFunc("dgs_ps_shard_pushes_total",
+			"Shard-local pushes applied (one logical push touches every shard).",
+			func() float64 { return float64(sh.pushes.Load()) }, "shard", label)
+		reg.GaugeFunc("dgs_ps_shard_diff_blocks_scanned_total",
+			"Dirty-tracking blocks this shard's downward diffs visited.",
+			func() float64 { return float64(sh.blocksScanned.Load()) }, "shard", label)
+		reg.GaugeFunc("dgs_ps_shard_diff_blocks_skipped_total",
+			"Dirty-tracking blocks this shard's downward diffs proved untouched.",
+			func() float64 { return float64(sh.blocksSkipped.Load()) }, "shard", label)
+		reg.GaugeFunc("dgs_ps_shard_secondary_candidates_total",
+			"Coordinates entering this shard's secondary Top-k candidate lists.",
+			func() float64 { return float64(sh.secCand.Load()) }, "shard", label)
+		reg.GaugeFunc("dgs_ps_shard_secondary_rounds_total",
+			"Threshold-promotion rounds run by this shard's secondary gathers.",
+			func() float64 { return float64(sh.secRounds.Load()) }, "shard", label)
+		rate := &pushRate{src: sh.pushes.Load}
+		reg.GaugeFunc("dgs_ps_shard_pushes_per_sec",
+			"Shard-local push throughput since the previous metrics collection.",
+			rate.rate, "shard", label)
+	}
 }

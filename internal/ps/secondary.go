@@ -1,0 +1,220 @@
+package ps
+
+import "dgs/internal/sparse"
+
+// This file implements the O(dirty + residual) secondary-compressed
+// downward path (DESIGN.md §13).
+//
+// The secondary path (Eq. 6) keeps only the top R% of |M − v_k| per layer;
+// everything else stays implicit in M − v_k as a suppressed residual, to be
+// transmitted once it grows large enough. That residual is what used to
+// force a full-layer scan every exchange: a version-clean block can still
+// carry deferred mass, so dirty tracking alone proves nothing about it.
+//
+// The fix is a per-worker, per-block summary of exactly that mass:
+// smax[b] = max Rank(M − v_k) over block b and snnz[b] = its nonzero count.
+// Both are exact, not estimates, whenever the block is version-clean: M is
+// only changed by stamped applies (which would make the block dirty) and
+// v_k is only changed by this worker's own gathers (which recompute the
+// summary for every block they touch). The gather therefore has to read
+// only
+//
+//   - blocks stamped after the worker's sync horizon (the diff may have
+//     changed), and
+//   - clean blocks whose smax can reach the selection threshold (the
+//     residual may finally be big enough to ship).
+//
+// A clean block with smax strictly below the final threshold contributes no
+// selected coordinate — every candidate it could add has Rank ≤ smax < thr,
+// and the selection keeps exactly the coordinates with Rank above thr plus
+// threshold ties won by index — so skipping it unread leaves the Top-k
+// result bitwise-identical to the full scan (enforced against
+// BaselineServer by TestPushEquivalence).
+//
+// The threshold itself depends on the candidate set, so the gather brackets
+// it: phase 1 scans dirty blocks plus clean blocks at or above the
+// *previous* exchange's threshold (the carry-over; thresholds drift slowly
+// between consecutive exchanges) and defers the rest to a pending list.
+// The promotion loop then computes the true threshold over the current
+// candidates and rescans any pending block whose smax reaches it. Adding
+// candidates can only raise the k-th magnitude, so the loop's threshold is
+// monotone non-decreasing and every block it leaves pending stays strictly
+// below the final threshold. The loop terminates: each round either
+// promotes at least one block (pending shrinks) or reaches a fixpoint.
+
+// secondaryGather assembles one layer's Eq. 6 downward chunk into out,
+// folds the shipped coordinates into v_k, and maintains the residual
+// summaries. The caller holds w.mu and s.mu.RLock. since is the worker's
+// dirty horizon (forced to 0 while w.sumStale rebuilds the summaries after
+// a restore) and stamp is written into w.vver for checkpoint tracking.
+// It reports blocks scanned/skipped, candidate coordinates considered, and
+// promotion rounds run.
+func (s *Server) secondaryGather(w *workerState, out *sparse.Update, layer int, since, stamp uint64) (scanned, skipped, cand, rounds uint64) {
+	ml, vl := s.m[layer], w.v[layer]
+	mver := s.mver[layer]
+	smax, snnz := w.smax[layer], w.snnz[layer]
+
+	w.candVal = w.candVal[:0]
+	w.candIdx = w.candIdx[:0]
+	w.scanB = w.scanB[:0]
+	w.segLo = w.segLo[:0]
+	w.segHi = w.segHi[:0]
+	w.pend = w.pend[:0]
+
+	if w.sumStale {
+		// Post-restore rebuild: the summaries are zeroed but v_k is not, so
+		// trust only the version stamps. Blocks with mver == 0 were never
+		// touched by any apply, hence M == 0 there and v_k == 0 too (v only
+		// ever accumulates shipped diffs, and a never-touched coordinate
+		// never had one), so skipping them on smax == 0 stays sound.
+		since = 0
+	}
+	thrCarry := w.thr[layer]
+	for b := range mver {
+		if mver[b] > since {
+			s.scanBlock(w, layer, b)
+			scanned++
+			continue
+		}
+		// Version-clean: the summary is exact.
+		switch m := smax[b]; {
+		case m == 0:
+			// No residual at all: the diff here is provably zero.
+			skipped++
+		case m >= thrCarry:
+			// Residual mass that reached last exchange's bar — likely to be
+			// selected now; scan eagerly so round one sees it.
+			s.scanBlock(w, layer, b)
+			scanned++
+		default:
+			w.pend = append(w.pend, int32(b))
+		}
+	}
+
+	k := sparse.KForRatio(len(ml), s.cfg.SecondaryRatio)
+	if k > w.residNNZ[layer] {
+		k = w.residNNZ[layer]
+	}
+	if k == 0 {
+		// residNNZ counts every nonzero of M − v_k layer-wide (scanned and
+		// pending blocks alike), so zero here is the full scan's nnz == 0:
+		// emit no chunk. Nothing pended (pending blocks carry smax > 0).
+		w.thr[layer] = 0
+		return scanned, skipped, cand, rounds
+	}
+
+	var pos []int32
+	var thr float32
+	for {
+		rounds++
+		if len(w.candVal) < k {
+			// Not enough candidates to fill k (k is clamped to the exact
+			// layer-wide nnz, so the deficit must be hiding in pending
+			// blocks): promote them all and reselect.
+			for _, b := range w.pend {
+				s.scanBlock(w, layer, int(b))
+				scanned++
+			}
+			w.pend = w.pend[:0]
+			continue
+		}
+		pos, thr = w.sel.TopKList(w.candVal, w.candIdx, k)
+		promoted := false
+		kept := w.pend[:0]
+		for _, b := range w.pend {
+			// ≥, not >: an equal-magnitude coordinate in a pending block
+			// could still win the ascending-index tie-break.
+			if smax[b] >= thr {
+				s.scanBlock(w, layer, int(b))
+				scanned++
+				promoted = true
+			} else {
+				kept = append(kept, b)
+			}
+		}
+		w.pend = kept
+		if !promoted {
+			break
+		}
+	}
+	skipped += uint64(len(w.pend))
+	cand = uint64(len(w.candVal))
+
+	// Emit the chunk. Selected positions arrive sorted by global coordinate,
+	// so the chunk's ascending-index invariant holds, and the values are the
+	// same fl(M[j] − v[j]) the full scan would have gathered.
+	c := out.NextChunk()
+	c.Layer = layer
+	c.Idx = c.Idx[:0]
+	c.Val = c.Val[:0]
+	for _, p := range pos {
+		c.Idx = append(c.Idx, w.candIdx[p])
+		c.Val = append(c.Val, w.candVal[p])
+	}
+
+	// v_k ← v_k + G (Eq. 6b) and summary maintenance in one pass: every
+	// scanned block gets a fresh exact summary from its candidate segment —
+	// unselected candidates stay residual as-is; selected ones usually zero
+	// out, except where float rounding leaves a sliver (v + (M−v) ≠ M),
+	// which stays summarised and is re-shipped once it can matter.
+	if cap(w.selMark) < len(w.candVal) {
+		w.selMark = make([]bool, len(w.candVal))
+	}
+	mark := w.selMark[:len(w.candVal)]
+	for i := range mark {
+		mark[i] = false
+	}
+	for _, p := range pos {
+		mark[p] = true
+	}
+	for i, b := range w.scanB {
+		var newMax float32
+		var newNNZ int32
+		for p := w.segLo[i]; p < w.segHi[i]; p++ {
+			j := w.candIdx[p]
+			if mark[p] {
+				vl[j] += w.candVal[p]
+				if d := ml[j] - vl[j]; d != 0 {
+					newNNZ++
+					if r := sparse.Rank(d); r > newMax {
+						newMax = r
+					}
+				}
+			} else {
+				newNNZ++
+				if r := sparse.Rank(w.candVal[p]); r > newMax {
+					newMax = r
+				}
+			}
+		}
+		w.residNNZ[layer] += int(newNNZ - snnz[b])
+		snnz[b] = newNNZ
+		smax[b] = newMax
+	}
+	sparse.MarkBlocks(w.vver[layer], c.Idx, stamp, s.blockShift)
+	w.thr[layer] = thr
+	return scanned, skipped, cand, rounds
+}
+
+// scanBlock reads one block's current diff M − v_k into the worker's
+// candidate list, records its segment, and refreshes the pre-selection
+// nonzero count (making residNNZ exact before the Top-k k is clamped to
+// it). A method rather than a closure so the steady-state push path stays
+// allocation-free.
+func (s *Server) scanBlock(w *workerState, layer, b int) {
+	ml, vl := s.m[layer], w.v[layer]
+	lo, hi := sparse.BlockSpan(b, s.blockShift, len(ml))
+	w.segLo = append(w.segLo, int32(len(w.candIdx)))
+	cnt := 0
+	for j := lo; j < hi; j++ {
+		if d := ml[j] - vl[j]; d != 0 {
+			w.candIdx = append(w.candIdx, int32(j))
+			w.candVal = append(w.candVal, d)
+			cnt++
+		}
+	}
+	w.segHi = append(w.segHi, int32(len(w.candIdx)))
+	w.scanB = append(w.scanB, int32(b))
+	w.residNNZ[layer] += cnt - int(w.snnz[layer][b])
+	w.snnz[layer][b] = int32(cnt)
+}

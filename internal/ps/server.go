@@ -65,9 +65,12 @@ type Config struct {
 	// accounting reflects the baseline's true cost.
 	DenseDownward bool
 	// BlockShift sets the dirty-tracking block size to 2^BlockShift
-	// elements (0 selects sparse.DefaultBlockShift, 1024-element blocks).
-	// Smaller blocks skip more of the model per diff at the cost of a
-	// larger version array; the result is identical either way.
+	// elements. 0 auto-tunes from the layer geometry
+	// (sparse.AutoBlockShift): large uniform layers get the 1024-element
+	// default, mixed small-layer geometries get finer blocks so dirty
+	// tracking can still resolve them. Smaller blocks skip more of the
+	// model per diff at the cost of a larger version array; the result is
+	// identical either way.
 	BlockShift uint
 	// Quiet suppresses telemetry registration. ShardedServer sets it on its
 	// inner shards and instruments at the wrapper, so one logical push is
@@ -91,9 +94,17 @@ type Stats struct {
 	Resyncs uint64
 	// DiffBlocksScanned / DiffBlocksSkipped count dirty-tracking blocks the
 	// downward diff visited vs proved untouched and skipped. Their ratio is
-	// the fraction of full-model work the diff tracking eliminated.
+	// the fraction of full-model work the diff tracking eliminated. The
+	// secondary path contributes too: a skipped block there is one whose
+	// residual summary proved it cannot reach the Top-k threshold.
 	DiffBlocksScanned uint64
 	DiffBlocksSkipped uint64
+	// SecondaryCandidates counts coordinates that entered the secondary
+	// Top-k candidate list (the full-scan equivalent would be pushes ×
+	// model size); SecondaryRounds counts threshold-promotion rounds, so
+	// Rounds/Pushes near 1 means the carried threshold almost always holds.
+	SecondaryCandidates uint64
+	SecondaryRounds     uint64
 }
 
 // Pusher is the server-side exchange interface shared by Server and
@@ -155,10 +166,41 @@ type workerState struct {
 	// it lives until this worker's next exchange, so steady-state pushes
 	// allocate nothing.
 	down sparse.Update
-	// diff is full-layer difference scratch, allocated only when secondary
-	// compression needs a materialised M − v_k to Top-k over.
-	diff []float32
 	sel  sparse.Selector
+
+	// Residual-magnitude summaries for the secondary path (DESIGN.md §13),
+	// allocated only when Config.Secondary. smax[layer][b] is the exact
+	// maximum sparse.Rank (|·|, NaN→+Inf) of the suppressed residual
+	// M − v_k inside dirty-tracking block b; snnz[layer][b] counts its
+	// nonzero coordinates; residNNZ[layer] is the layer-wide total (the
+	// exact nnz the Top-k k must be clamped to). The summaries are exact
+	// for version-clean blocks because only this worker's own gathers write
+	// v_k and only stamped applies change M — see secondaryGather.
+	smax     [][]float32
+	snnz     [][]int32
+	residNNZ []int
+	// thr[layer] carries the previous exchange's selection threshold
+	// (Rank space): clean blocks whose summary max falls below it are
+	// deferred unread and only re-read if the in-exchange promotion loop
+	// proves the real threshold dropped far enough to reach them.
+	thr []float32
+	// sumStale forces the next gather to rebuild the summaries with a full
+	// scan of every ever-touched block. Set by restoreFrom: summaries are
+	// not persisted in checkpoints, and a restored worker may have
+	// syncVer > 0 with zeroed smax, which would otherwise skip blocks that
+	// still hold residual mass.
+	sumStale bool
+	// Secondary gather scratch (amortised like down; steady-state pushes
+	// allocate nothing): the compacted candidate list, the per-scanned-block
+	// segment table, the pending (deferred clean block) list, and the
+	// selection marks.
+	candVal []float32
+	candIdx []int32
+	scanB   []int32
+	segLo   []int32
+	segHi   []int32
+	pend    []int32
+	selMark []bool
 }
 
 // Server is a thread-safe DGS parameter server.
@@ -183,6 +225,8 @@ type Server struct {
 	resyncs       atomic.Uint64
 	blocksScanned atomic.Uint64
 	blocksSkipped atomic.Uint64
+	secCand       atomic.Uint64
+	secRounds     atomic.Uint64
 
 	workers []workerState
 
@@ -200,7 +244,11 @@ func NewServer(cfg Config) *Server {
 		panic(fmt.Sprintf("ps: secondary ratio %v out of (0,1]", cfg.SecondaryRatio))
 	}
 	if cfg.BlockShift == 0 {
-		cfg.BlockShift = sparse.DefaultBlockShift
+		// Auto-tune from the layer-size distribution: a model of small
+		// layers needs finer blocks than the 1024-element default for dirty
+		// tracking to skip anything. Deterministic in the sizes, so restart
+		// recovery reproduces the checkpoint's geometry.
+		cfg.BlockShift = sparse.AutoBlockShift(cfg.LayerSizes)
 	}
 	if cfg.BlockShift > 30 {
 		panic(fmt.Sprintf("ps: block shift %d out of range (0,30]", cfg.BlockShift))
@@ -233,7 +281,14 @@ func NewServer(cfg Config) *Server {
 			w.vver[i] = make([]uint64, len(s.mver[i]))
 		}
 		if cfg.Secondary {
-			w.diff = make([]float32, maxLayer)
+			w.smax = make([][]float32, len(cfg.LayerSizes))
+			w.snnz = make([][]int32, len(cfg.LayerSizes))
+			w.residNNZ = make([]int, len(cfg.LayerSizes))
+			w.thr = make([]float32, len(cfg.LayerSizes))
+			for i := range w.smax {
+				w.smax[i] = make([]float32, len(s.mver[i]))
+				w.snnz[i] = make([]int32, len(s.mver[i]))
+			}
 		}
 	}
 	s.denseIdx = make([]int32, maxLayer)
@@ -280,6 +335,21 @@ func (s *Server) Resync(worker int) {
 		for i := range ver {
 			ver[i] = vstamp
 		}
+	}
+	// Zeroed residual summaries are consistent with syncVer = 0: every
+	// ever-touched block has mver > 0 and is version-dirty against the reset
+	// horizon, so the next gather rescans it and rebuilds its summary, while
+	// never-touched blocks really do hold M == 0 == v_k (zero residual).
+	if s.cfg.Secondary {
+		for layer := range w.smax {
+			for b := range w.smax[layer] {
+				w.smax[layer][b] = 0
+				w.snnz[layer][b] = 0
+			}
+			w.residNNZ[layer] = 0
+			w.thr[layer] = 0
+		}
+		w.sumStale = false
 	}
 	w.prev = s.t.Load()
 	// syncVer 0 forces the next diff to visit every block ever touched:
@@ -349,14 +419,18 @@ func (s *Server) Push(worker int, g *sparse.Update) (sparse.Update, uint64) {
 	// is the horizon v_k is synchronised to afterwards.
 	s.mu.RLock()
 	tSeen := s.t.Load()
-	scanned, skipped := s.gatherDown(w, w.syncVer, tSeen)
+	scanned, skipped, cand, rounds := s.gatherDown(w, w.syncVer, tSeen)
 	s.mu.RUnlock()
 
 	w.prev = tSeen
 	w.syncVer = tSeen
 	s.blocksScanned.Add(scanned)
 	s.blocksSkipped.Add(skipped)
-	s.met.observePush(worker, stale, uint64(g.NNZ()), uint64(w.down.NNZ()), lockWait, scanned, skipped)
+	if s.cfg.Secondary {
+		s.secCand.Add(cand)
+		s.secRounds.Add(rounds)
+	}
+	s.met.observePush(worker, stale, uint64(g.NNZ()), uint64(w.down.NNZ()), lockWait, scanned, skipped, cand, rounds)
 	return w.down, tSeen
 }
 
@@ -367,7 +441,7 @@ func (s *Server) Push(worker int, g *sparse.Update) (sparse.Update, uint64) {
 // written into w.vver for every v-block this gather changes (checkpoint
 // dirty tracking); Push passes tSeen, which is strictly greater than any
 // capture horizon recorded before this gather began.
-func (s *Server) gatherDown(w *workerState, since, stamp uint64) (scanned, skipped uint64) {
+func (s *Server) gatherDown(w *workerState, since, stamp uint64) (scanned, skipped, cand, rounds uint64) {
 	out := &w.down
 	out.Chunks = out.Chunks[:0]
 	for layer := range s.m {
@@ -384,29 +458,14 @@ func (s *Server) gatherDown(w *workerState, since, stamp uint64) (scanned, skipp
 			// Secondary compression: keep only the top R% of |G| for this
 			// layer; the remainder stays implicit in M − v_k and is
 			// transmitted once it grows large enough (Eq. 6). The residual
-			// makes every block a candidate, so this path scans the full
-			// layer (the Top-k selection would anyway).
-			d := w.diff[:len(ml)]
-			nnz := 0
-			for j := range d {
-				d[j] = ml[j] - vl[j]
-				if d[j] != 0 {
-					nnz++
-				}
-			}
-			if nnz == 0 {
-				continue
-			}
-			k := sparse.KForRatio(len(d), s.cfg.SecondaryRatio)
-			if k > nnz {
-				k = nnz
-			}
-			idx := w.sel.TopK(d, k)
-			c := out.NextChunk()
-			sparse.GatherInto(c, layer, d, idx)
-			// v_k ← v_k + G (Eq. 6b): record exactly what was sent.
-			sparse.Scatter(c, vl, 1)
-			sparse.MarkBlocks(w.vver[layer], c.Idx, stamp, s.blockShift)
+			// summaries bound that remainder per block, so the Top-k runs
+			// over dirty + residual-bearing blocks instead of the full layer
+			// (see secondary.go and DESIGN.md §13).
+			sc, sk, cd, rd := s.secondaryGather(w, out, layer, since, stamp)
+			scanned += sc
+			skipped += sk
+			cand += cd
+			rounds += rd
 		default:
 			c := out.NextChunk()
 			sc, sk := sparseDiff(c, layer, ml, vl, s.mver[layer], w.resid[layer], w.vver[layer], since, stamp, s.blockShift)
@@ -419,7 +478,9 @@ func (s *Server) gatherDown(w *workerState, since, stamp uint64) (scanned, skipp
 			}
 		}
 	}
-	return scanned, skipped
+	// A restore-triggered summary rebuild covers every layer in one gather.
+	w.sumStale = false
+	return scanned, skipped, cand, rounds
 }
 
 // denseDiff fills c with the complete difference ml − vl (every coordinate,
@@ -502,12 +563,14 @@ func (s *Server) Timestamp() uint64 { return s.t.Load() }
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Pushes:            s.pushes.Load(),
-		StalenessSum:      s.stalenessSum.Load(),
-		MaxStaleness:      s.maxStaleness.Load(),
-		Resyncs:           s.resyncs.Load(),
-		DiffBlocksScanned: s.blocksScanned.Load(),
-		DiffBlocksSkipped: s.blocksSkipped.Load(),
+		Pushes:              s.pushes.Load(),
+		StalenessSum:        s.stalenessSum.Load(),
+		MaxStaleness:        s.maxStaleness.Load(),
+		Resyncs:             s.resyncs.Load(),
+		DiffBlocksScanned:   s.blocksScanned.Load(),
+		DiffBlocksSkipped:   s.blocksSkipped.Load(),
+		SecondaryCandidates: s.secCand.Load(),
+		SecondaryRounds:     s.secRounds.Load(),
 	}
 }
 

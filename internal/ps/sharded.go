@@ -3,6 +3,7 @@ package ps
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"dgs/internal/sparse"
@@ -69,10 +70,17 @@ type shardSplit struct {
 	wg      sync.WaitGroup
 }
 
-// NewShardedServer builds numShards shards over the given layers, assigning
-// each layer to the currently lightest shard (greedy balance by element
-// count). The per-shard configuration mirrors cfg (secondary compression,
-// dense downward, worker count).
+// NewShardedServer builds numShards shards over the given layers, placing
+// layers across shards by modelled push cost — bytes applied plus
+// dirty-tracking blocks scanned, not element count alone — with the classic
+// LPT heuristic (heaviest layer first onto the lightest shard). Element
+// count undercounts the small-layer end: a push touches every layer's
+// version array and chunk bookkeeping regardless of size, so a shard
+// holding many small conv layers does far more per-push work than its
+// element share suggests. The placement is a pure function of the layer
+// sizes and shard count, so restart recovery reproduces a checkpoint's
+// layout (RestoreShardedServer relies on this). The per-shard configuration
+// mirrors cfg (secondary compression, dense downward, worker count).
 func NewShardedServer(cfg Config, numShards int) *ShardedServer {
 	if numShards < 1 {
 		panic("ps: need at least one shard")
@@ -80,14 +88,37 @@ func NewShardedServer(cfg Config, numShards int) *ShardedServer {
 	if numShards > len(cfg.LayerSizes) {
 		numShards = len(cfg.LayerSizes)
 	}
+	if cfg.BlockShift == 0 {
+		// Resolve the auto block shift once, from the full layer set: each
+		// shard seeing only its own layers would derive different shifts,
+		// and checkpoint geometry validation requires one shared value.
+		cfg.BlockShift = sparse.AutoBlockShift(cfg.LayerSizes)
+	}
 	s := &ShardedServer{
 		layerShard: make([]int, len(cfg.LayerSizes)),
 		layerLocal: make([]int, len(cfg.LayerSizes)),
 		sizes:      append([]int(nil), cfg.LayerSizes...),
 	}
+	// Per-push cost of owning a layer: fixed chunk/bookkeeping overhead,
+	// per-element apply + diff work, and per-block version-scan work. The
+	// weights are coarse — what matters is that small layers stop looking
+	// free and block-heavy layers stop looking like pure element counts.
+	cost := func(n int) int { return 64 + n + 2*sparse.NumBlocks(n, cfg.BlockShift) }
+	order := make([]int, len(cfg.LayerSizes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := cost(cfg.LayerSizes[order[a]]), cost(cfg.LayerSizes[order[b]])
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b]
+	})
 	load := make([]int, numShards)
 	shardLayers := make([][]int, numShards)
-	for l, n := range cfg.LayerSizes {
+	for _, l := range order {
+		n := cfg.LayerSizes[l]
 		lightest := 0
 		for i := 1; i < numShards; i++ {
 			if load[i] < load[lightest] {
@@ -97,7 +128,7 @@ func NewShardedServer(cfg Config, numShards int) *ShardedServer {
 		s.layerShard[l] = lightest
 		s.layerLocal[l] = len(shardLayers[lightest])
 		shardLayers[lightest] = append(shardLayers[lightest], n)
-		load[lightest] += n
+		load[lightest] += cost(n)
 	}
 	for i := 0; i < numShards; i++ {
 		sc := cfg
@@ -127,6 +158,10 @@ func NewShardedServer(cfg Config, numShards int) *ShardedServer {
 	s.prevClock = make([]uint64, cfg.Workers)
 	if !cfg.Quiet {
 		s.met = newMetrics(cfg.LayerSizes, cfg.Workers)
+		// The shards run Quiet; surface their counters as labelled children
+		// read at scrape time, so per-shard balance is visible without
+		// double-counting the wrapper's logical pushes.
+		registerShardMetrics(s.shards)
 	}
 	if numShards > 1 {
 		pool := runtime.GOMAXPROCS(0)
@@ -145,8 +180,14 @@ func NewShardedServer(cfg Config, numShards int) *ShardedServer {
 }
 
 // shardApplyLoop is one pool goroutine: it applies shard pushes and writes
-// the results into the job's per-worker slots.
+// the results into the job's per-worker slots. The goroutine is pinned to
+// its OS thread: shard applies are short critical sections over hot version
+// arrays, and letting the scheduler migrate them across threads mid-stream
+// thrashes the caches those arrays live in (visible on the serverbench cnn
+// workload, whose many small layers make per-push cache state dominate).
 func shardApplyLoop(jobs <-chan shardJob) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
 	for job := range jobs {
 		G, ts := job.shard.Push(job.worker, job.in)
 		*job.outG = G
@@ -229,10 +270,11 @@ func (s *ShardedServer) Push(worker int, g *sparse.Update) (sparse.Update, uint6
 		if stale < 0 {
 			stale = 0
 		}
-		// Lock-wait and block counters live on the shards; the wrapper reports
-		// zero wait (it holds no model lock itself) and aggregates the
-		// scan/skip totals through Stats instead.
-		s.met.observePush(worker, uint64(stale), uint64(g.NNZ()), uint64(sp.out.NNZ()), 0, 0, 0)
+		// Lock-wait, block and secondary counters live on the shards; the
+		// wrapper reports zero (it holds no model lock itself) and surfaces
+		// the shard values through Stats and the dgs_ps_shard_* labelled
+		// children instead.
+		s.met.observePush(worker, uint64(stale), uint64(g.NNZ()), uint64(sp.out.NNZ()), 0, 0, 0, 0, 0)
 	}
 	s.prevClock[worker] = clock
 	return sp.out, clock
@@ -284,6 +326,8 @@ func (s *ShardedServer) Stats() Stats {
 		total.StalenessSum += st.StalenessSum
 		total.DiffBlocksScanned += st.DiffBlocksScanned
 		total.DiffBlocksSkipped += st.DiffBlocksSkipped
+		total.SecondaryCandidates += st.SecondaryCandidates
+		total.SecondaryRounds += st.SecondaryRounds
 		if st.MaxStaleness > total.MaxStaleness {
 			total.MaxStaleness = st.MaxStaleness
 		}

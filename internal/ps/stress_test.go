@@ -120,6 +120,21 @@ func TestServerStress(t *testing.T) {
 	runServerStress(t, s, s.MSnapshot, s.VSnapshot, sizes, workers, 30)
 }
 
+// TestSecondaryServerStress is the same concurrent drill with secondary
+// compression on, so the per-worker residual-summary structures (smax,
+// snnz, residNNZ, the candidate/pending scratch, and the threshold
+// carry-over) update while pushes from other workers, resyncs, Stats,
+// Timestamp, and snapshot pollers all race them under -race.
+func TestSecondaryServerStress(t *testing.T) {
+	sizes := []int{1 << 11, 257, 33}
+	const workers = 8
+	s := NewServer(Config{
+		LayerSizes: sizes, Workers: workers,
+		Secondary: true, SecondaryRatio: 0.05, BlockShift: 6, Quiet: true,
+	})
+	runServerStress(t, s, s.MSnapshot, s.VSnapshot, sizes, workers, 30)
+}
+
 // TestShardedServerStress is the same drill against a 4-shard server, where
 // pushes additionally fan out across shard locks through the apply pool.
 func TestShardedServerStress(t *testing.T) {

@@ -1,5 +1,7 @@
 package sparse
 
+import "sort"
+
 // Block-version helpers for dirty-range diff tracking (ps.Server): a layer
 // of n elements is divided into fixed 2^shift-element blocks, and each block
 // carries the logical timestamp of the last sparse apply that touched it.
@@ -29,6 +31,32 @@ func BlockSpan(b int, shift uint, n int) (lo, hi int) {
 		hi = n
 	}
 	return lo, hi
+}
+
+// AutoBlockShift picks a dirty-tracking block shift from a model's
+// layer-size distribution: the largest shift (capped at DefaultBlockShift)
+// at which the median layer still spans at least 64 blocks, floored at 2.
+// Large embedding-style layers keep the cheap 1024-element default, while
+// models dominated by small layers (a CNN's conv kernels) get blocks fine
+// enough that dirty tracking can actually skip anything — at the default, a
+// few-hundred-element layer collapses into a single block and every diff
+// rescans it. The answer depends only on the sizes, so a restarted server
+// built from the same configuration reproduces the checkpoint's geometry.
+func AutoBlockShift(sizes []int) uint {
+	if len(sizes) == 0 {
+		return DefaultBlockShift
+	}
+	sorted := append([]int(nil), sizes...)
+	sort.Ints(sorted)
+	med := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		med = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	shift := uint(2)
+	for shift < DefaultBlockShift && med>>(shift+1) >= 64 {
+		shift++
+	}
+	return shift
 }
 
 // MarkBlocks stamps the blocks containing the given (ascending) element

@@ -35,6 +35,44 @@ func TestBlockSpan(t *testing.T) {
 	}
 }
 
+func TestAutoBlockShift(t *testing.T) {
+	cases := []struct {
+		name  string
+		sizes []int
+		want  uint
+	}{
+		{"empty", nil, DefaultBlockShift},
+		// Embedding-style: huge layers keep the cheap default.
+		{"embedding", []int{1 << 19, 1 << 19, 1 << 19, 1 << 19}, DefaultBlockShift},
+		{"one_big", []int{1 << 16}, DefaultBlockShift},
+		// CIFAR-CNN geometry: median ~496 elements — the default would
+		// collapse most layers into one block; auto picks fine blocks.
+		{"cnn", []int{864, 32, 9216, 32, 18432, 64, 65536, 128, 1280, 10}, 2},
+		// All tiny: floored at shift 2, never finer.
+		{"tiny", []int{8, 8, 8}, 2},
+		// Median of 4096 supports 64 blocks at shift 6 but not shift 7.
+		{"mid", []int{4096, 4096, 4096}, 6},
+	}
+	for _, tc := range cases {
+		if got := AutoBlockShift(tc.sizes); got != tc.want {
+			t.Errorf("%s: AutoBlockShift(%v) = %d, want %d", tc.name, tc.sizes, got, tc.want)
+		}
+	}
+	// The result is a pure function of the sizes (restart determinism) and
+	// must not mutate its argument.
+	sizes := []int{100, 5, 90000}
+	before := append([]int(nil), sizes...)
+	a, b := AutoBlockShift(sizes), AutoBlockShift(sizes)
+	if a != b {
+		t.Fatalf("non-deterministic: %d then %d", a, b)
+	}
+	for i := range sizes {
+		if sizes[i] != before[i] {
+			t.Fatal("AutoBlockShift mutated its input")
+		}
+	}
+}
+
 func TestMarkBlocks(t *testing.T) {
 	ver := make([]uint64, NumBlocks(40, 3)) // 5 blocks of 8
 	MarkBlocks(ver, []int32{0, 1, 7, 8, 25, 39}, 7, 3)

@@ -4,6 +4,8 @@
 // exchanging sparse updates between workers and the parameter server.
 package sparse
 
+import "math"
+
 // KForRatio returns the number of elements to keep for a layer of n
 // elements at sparsification ratio R (keep fraction). The paper's R=1 means
 // "top 1%": ratio = 0.01. At least one element is always kept for non-empty
@@ -107,10 +109,29 @@ func absOf(x []float32, i int32) float32 {
 	return v
 }
 
+// Rank maps a value to its selection magnitude: |v|, with NaN promoted to
+// +Inf. NaN payloads sort first (and deterministically, by index) instead of
+// leaving the comparator without a total order — selection results must not
+// depend on array layout, because TopKList runs the same selection over a
+// compacted candidate list and has to pick the identical coordinate set.
+// A NaN gradient coordinate is already a diverged run; shipping it first
+// surfaces the divergence instead of hiding it. Exported because ps keeps
+// per-block residual summaries in this same magnitude space (max Rank per
+// block) and compares them against selection thresholds.
+func Rank(v float32) float32 {
+	if v != v {
+		return float32(math.Inf(1))
+	}
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
 // less reports whether index a should come before b in descending-|x| order
 // with ascending-index tiebreak.
 func less(x []float32, a, b int32) bool {
-	av, bv := absOf(x, a), absOf(x, b)
+	av, bv := Rank(x[a]), Rank(x[b])
 	if av != bv {
 		return av > bv
 	}
@@ -209,4 +230,141 @@ func qsortInt32(a []int32, lo, hi int) {
 func Threshold(x []float32, k int) float32 {
 	var s Selector
 	return s.Threshold(x, k)
+}
+
+// TopKList is bounded Top-k over a sparse candidate list: val[i] is the
+// value living at original coordinate gidx[i] (coordinates unique, order of
+// the list arbitrary). It selects the k largest-|val| entries under exactly
+// the ordering TopK applies to a full dense layer — descending magnitude,
+// ties broken by ascending original coordinate — so as long as the list
+// contains every coordinate that could reach the top k, the selected set is
+// bitwise-identical to a full-layer TopK, at O(len(val)) instead of
+// O(layer). This is what lets ps.Server run secondary compression over only
+// the dirty + residual-bearing blocks (DESIGN.md §13).
+//
+// It returns positions into val/gidx ordered by ascending gidx, plus the
+// selection threshold in Rank space (the k-th magnitude; +Inf if the k-th
+// entry is NaN) — comparable against per-block max-Rank summaries.
+// The positions alias the selector's scratch, valid until the next call.
+// k > len(val) selects everything.
+func (s *Selector) TopKList(val []float32, gidx []int32, k int) ([]int32, float32) {
+	n := len(val)
+	if k <= 0 || n == 0 {
+		return nil, 0
+	}
+	pos := s.fill(n)
+	if k >= n {
+		// Everything is selected; the threshold is the smallest magnitude.
+		thr := Rank(val[0])
+		for i := 1; i < n; i++ {
+			if r := Rank(val[i]); r < thr {
+				thr = r
+			}
+		}
+		sortPosByIdx(pos, gidx)
+		return pos, thr
+	}
+	quickselectList(val, gidx, pos, k)
+	// As in Threshold: after quickselect pos[k-1] is exactly the k-th entry
+	// of the descending order, so its magnitude is the threshold.
+	thr := Rank(val[pos[k-1]])
+	top := pos[:k]
+	sortPosByIdx(top, gidx)
+	return top, thr
+}
+
+// lessList is less() over a candidate list: descending Rank(val), ties by
+// ascending original coordinate — identical to the full-layer ordering.
+func lessList(val []float32, gidx []int32, a, b int32) bool {
+	av, bv := Rank(val[a]), Rank(val[b])
+	if av != bv {
+		return av > bv
+	}
+	return gidx[a] < gidx[b]
+}
+
+// quickselectList partially orders pos so pos[:k] holds the top-k list
+// positions under lessList.
+func quickselectList(val []float32, gidx []int32, pos []int32, k int) {
+	lo, hi := 0, len(pos)-1
+	for lo < hi {
+		p := partitionList(val, gidx, pos, lo, hi)
+		switch {
+		case p == k-1:
+			return
+		case p < k-1:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+}
+
+func partitionList(val []float32, gidx []int32, pos []int32, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if lessList(val, gidx, pos[mid], pos[lo]) {
+		pos[lo], pos[mid] = pos[mid], pos[lo]
+	}
+	if lessList(val, gidx, pos[hi], pos[lo]) {
+		pos[lo], pos[hi] = pos[hi], pos[lo]
+	}
+	if lessList(val, gidx, pos[hi], pos[mid]) {
+		pos[mid], pos[hi] = pos[hi], pos[mid]
+	}
+	pivot := pos[mid]
+	pos[mid], pos[hi] = pos[hi], pos[mid]
+	store := lo
+	for i := lo; i < hi; i++ {
+		if lessList(val, gidx, pos[i], pivot) {
+			pos[i], pos[store] = pos[store], pos[i]
+			store++
+		}
+	}
+	pos[store], pos[hi] = pos[hi], pos[store]
+	return store
+}
+
+// sortPosByIdx sorts list positions by their original coordinate ascending
+// (coordinates are unique, so the order is total).
+func sortPosByIdx(pos []int32, gidx []int32) {
+	if len(pos) < 32 {
+		for i := 1; i < len(pos); i++ {
+			v := pos[i]
+			j := i - 1
+			for j >= 0 && gidx[pos[j]] > gidx[v] {
+				pos[j+1] = pos[j]
+				j--
+			}
+			pos[j+1] = v
+		}
+		return
+	}
+	qsortPosByIdx(pos, gidx, 0, len(pos)-1)
+}
+
+func qsortPosByIdx(pos []int32, gidx []int32, lo, hi int) {
+	for lo < hi {
+		p := gidx[pos[lo+(hi-lo)/2]]
+		i, j := lo, hi
+		for i <= j {
+			for gidx[pos[i]] < p {
+				i++
+			}
+			for gidx[pos[j]] > p {
+				j--
+			}
+			if i <= j {
+				pos[i], pos[j] = pos[j], pos[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			qsortPosByIdx(pos, gidx, lo, j)
+			lo = i
+		} else {
+			qsortPosByIdx(pos, gidx, i, hi)
+			hi = j
+		}
+	}
 }
