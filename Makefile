@@ -2,9 +2,9 @@
 # must keep green: build, vet, then the full test suite under the race
 # detector (the async exchange paths are required to be race-clean).
 # `make ci` is the CI entry point: formatting gate first, then check.
-.PHONY: ci check fmt-check build vet test race bench bench-paper bench-smoke
+.PHONY: ci check fmt-check build vet test race bench bench-paper bench-smoke staticcheck fuzz-smoke
 
-ci: fmt-check check
+ci: fmt-check staticcheck check
 
 check: build vet race
 
@@ -17,6 +17,16 @@ build:
 
 vet:
 	go vet ./...
+
+# Static analysis beyond vet. The tool is not vendored, so the target is a
+# no-op where it isn't installed (CI installs a pinned version; see
+# .github/workflows/ci.yml) rather than making local `make ci` fail on a
+# missing binary.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; fi
 
 test:
 	go test ./...
@@ -39,6 +49,7 @@ bench:
 	go run ./cmd/dgs-bench -pipebench
 	go run ./cmd/dgs-bench -serverbench
 	go run ./cmd/dgs-bench -ckptbench
+	go run ./cmd/dgs-bench -wirebench
 	$(MAKE) bench-paper PAPER_BENCHTIME=$(PAPER_BENCHTIME)
 
 # The paper benchmarks run full (short-scale) training per artefact, so the
@@ -54,9 +65,11 @@ bench-paper:
 # many-worker server gates (all within-run ratios: dirty-tracking vs
 # single-mutex pushes/sec at 8 workers floored at 2x, residual-summary
 # secondary gather vs the full-scan Top-k baseline floored at 3x, and the
-# cnn workload's scan/skip ratio floored at 0.5 under auto block-shift).
-# SMOKE_OUT, PIPE_SMOKE_OUT and SERVER_SMOKE_OUT are uploaded as CI
-# artifacts.
+# cnn workload's scan/skip ratio floored at 0.5 under auto block-shift),
+# then the wire gate (quantized bytes/step on the embed workload must stay
+# at or under 0.5x codec 0, again a within-run ratio). SMOKE_OUT,
+# PIPE_SMOKE_OUT, SERVER_SMOKE_OUT, CKPT_SMOKE_OUT and WIRE_SMOKE_OUT are
+# uploaded as CI artifacts.
 SMOKE_BENCHTIME ?= 100ms
 SMOKE_OUT ?= bench-smoke.json
 PIPE_SMOKE_STEPS ?= 60
@@ -65,6 +78,8 @@ SERVER_SMOKE_PUSHES ?= 32
 SERVER_SMOKE_OUT ?= server-smoke.json
 CKPT_SMOKE_PUSHES ?= 64
 CKPT_SMOKE_OUT ?= ckpt-smoke.json
+WIRE_SMOKE_STEPS ?= 16
+WIRE_SMOKE_OUT ?= wire-smoke.json
 
 bench-smoke:
 	go run ./cmd/dgs-bench -microbench -benchtime $(SMOKE_BENCHTIME) -json $(SMOKE_OUT)
@@ -75,3 +90,15 @@ bench-smoke:
 	go run ./cmd/dgs-benchdiff -server -baseline BENCH_PR7.json -current $(SERVER_SMOKE_OUT)
 	go run ./cmd/dgs-bench -ckptbench -server-pushes $(CKPT_SMOKE_PUSHES) -json $(CKPT_SMOKE_OUT)
 	go run ./cmd/dgs-benchdiff -checkpoint -baseline BENCH_PR6.json -current $(CKPT_SMOKE_OUT)
+	go run ./cmd/dgs-bench -wirebench -wire-steps $(WIRE_SMOKE_STEPS) -json $(WIRE_SMOKE_OUT)
+	go run ./cmd/dgs-benchdiff -wire -baseline BENCH_PR8.json -current $(WIRE_SMOKE_OUT)
+
+# Short local fuzz pass over the wire and checkpoint decoders (the scheduled
+# CI job runs each target for minutes; see .github/workflows/fuzz.yml).
+FUZZ_SMOKE_TIME ?= 10s
+
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/sparse
+	go test -run '^$$' -fuzz '^FuzzDecodeAny$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/sparse
+	go test -run '^$$' -fuzz '^FuzzTernaryDecode$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/quant
+	go test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/checkpoint

@@ -11,6 +11,7 @@
 //	dgs-bench -microbench             # kernel/hot-path benchmarks → BENCH_PR2.json
 //	dgs-bench -pipebench              # pipelined-exchange benchmark → BENCH_PR4.json
 //	dgs-bench -serverbench            # many-worker server saturation → BENCH_PR7.json
+//	dgs-bench -wirebench              # per-codec wire bytes/step → BENCH_PR8.json
 //	dgs-bench -microbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -40,7 +41,9 @@ func main() {
 		pipe       = flag.Bool("pipebench", false, "run the pipelined-exchange benchmark and write a JSON report")
 		server     = flag.Bool("serverbench", false, "run the many-worker server saturation benchmark and write a JSON report")
 		ckpt       = flag.Bool("ckptbench", false, "run the checkpoint capture/interference benchmark and write a JSON report")
-		microOut   = flag.String("json", "", "report path (default BENCH_PR2.json for -microbench, BENCH_PR4.json for -pipebench, BENCH_PR7.json for -serverbench, BENCH_PR6.json for -ckptbench)")
+		wire       = flag.Bool("wirebench", false, "run the per-codec wire compression benchmark and write a JSON report")
+		wireSteps  = flag.Int("wire-steps", 0, "measured exchanges per codec/workload cell for -wirebench (0 = default 64)")
+		microOut   = flag.String("json", "", "report path (default BENCH_PR2.json for -microbench, BENCH_PR4.json for -pipebench, BENCH_PR7.json for -serverbench, BENCH_PR6.json for -ckptbench, BENCH_PR8.json for -wirebench)")
 		benchtime  = flag.String("benchtime", "", "per-benchmark time or count for -microbench (e.g. 1s, 100x)")
 		pipeSteps  = flag.Int("pipe-steps", 0, "measured steps per pipelined run (0 = default 240)")
 		pipeRTT    = flag.Duration("pipe-rtt", 0, "simulated round-trip time (0 = auto-calibrated from compute)")
@@ -117,6 +120,17 @@ func main() {
 			path = "BENCH_PR6.json"
 		}
 		if err := runCkpt(path, *serverPush); err != nil {
+			fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *wire {
+		path := *microOut
+		if path == "" {
+			path = "BENCH_PR8.json"
+		}
+		if err := runWire(path, *wireSteps); err != nil {
 			fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -248,6 +262,32 @@ func runCkpt(path string, pushesPerWorker int) error {
 		return err
 	}
 	fmt.Printf("[checkpoint report written to %s]\n", path)
+	return nil
+}
+
+// runWire runs the per-codec wire compression benchmark and writes the JSON
+// report.
+func runWire(path string, steps int) error {
+	rep, err := bench.RunWire(steps)
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-8s %-6s up %9.0f B/step (%.3fx raw)  down %9.0f B/step (%.3fx raw)  encode %8.0f ns/op  decode %8.0f ns/op\n",
+			r.Codec, r.Workload, r.BytesPerStepUp, r.UpRatioVsRaw,
+			r.BytesPerStepDown, r.DownRatioVsRaw, r.EncodeNsPerOp, r.DecodeNsPerOp)
+	}
+	fmt.Printf("gated: worst quantized embed ratio %.3fx over %v\n",
+		rep.QuantizedEmbedMaxRatio, rep.QuantizedCodecs)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wire report written to %s]\n", path)
 	return nil
 }
 

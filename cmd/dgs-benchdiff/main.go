@@ -188,6 +188,48 @@ func diffServer(baseline, current *bench.ServerReport, minSpeedup, minSecondary,
 	return problems
 }
 
+// diffWire gates the wire-compression report. The gated quantity is a
+// within-run ratio (each codec's bytes/step against codec 0 on the same
+// updates in the same process), so the floor is absolute and portable:
+// every registered lossy codec must at least halve the embed wire in both
+// directions. The committed baseline must itself satisfy the gate so a
+// stale tracked file fails loudly here, not in review.
+func diffWire(baseline, current *bench.WireReport, maxRatio float64) []string {
+	var problems []string
+	check := func(rep *bench.WireReport, name string) {
+		if len(rep.QuantizedCodecs) == 0 {
+			problems = append(problems, fmt.Sprintf("%s: no quantized codecs measured", name))
+		}
+		if rep.QuantizedEmbedMaxRatio > maxRatio {
+			problems = append(problems, fmt.Sprintf(
+				"%s: worst quantized embed bytes/step ratio %.3fx above ceiling %.2fx (codecs %v)",
+				name, rep.QuantizedEmbedMaxRatio, maxRatio, rep.QuantizedCodecs))
+		}
+		for _, pt := range rep.Results {
+			if pt.BytesPerStepUp <= 0 || pt.BytesPerStepDown <= 0 {
+				problems = append(problems, fmt.Sprintf(
+					"%s: %s/%s has non-positive bytes/step (%.1f up, %.1f down)",
+					name, pt.Codec, pt.Workload, pt.BytesPerStepUp, pt.BytesPerStepDown))
+			}
+		}
+	}
+	check(baseline, "baseline")
+	check(current, "current")
+
+	// Every lossy codec the baseline covered must still be measured — a
+	// codec silently dropping out of the registry shouldn't pass the gate.
+	cur := map[string]bool{}
+	for _, c := range current.QuantizedCodecs {
+		cur[c] = true
+	}
+	for _, c := range baseline.QuantizedCodecs {
+		if !cur[c] {
+			problems = append(problems, fmt.Sprintf("quantized codec %q missing from current report", c))
+		}
+	}
+	return problems
+}
+
 // diffCkpt gates the checkpoint report. All three quantities are within-run
 // ratios, so the floors are absolute and portable; the committed baseline
 // must itself satisfy them so a stale tracked file fails loudly here.
@@ -215,6 +257,18 @@ func diffCkpt(baseline, current *bench.CkptReport, minIncr, minSkip, minRetained
 	check(baseline, "baseline")
 	check(current, "current")
 	return problems
+}
+
+func loadWire(path string) (*bench.WireReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.WireReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
 }
 
 func loadCkpt(path string) (*bench.CkptReport, error) {
@@ -277,6 +331,8 @@ func main() {
 		minServer    = flag.Float64("min-server-speedup", 2.0, "8-worker pushes/sec floor vs the single-mutex baseline (with -server)")
 		minSecondary = flag.Float64("min-secondary-speedup", 3.0, "8-worker secondary pushes/sec floor vs the full-scan Top-k baseline (with -server)")
 		minCNNSkip   = flag.Float64("min-cnn-skip", 0.5, "cnn workload scan/skip ratio floor under auto block-shift (with -server)")
+		wire         = flag.Bool("wire", false, "diff wire-compression reports (dgs-bench -wirebench) instead of microbench reports")
+		maxWireRatio = flag.Float64("max-wire-ratio", 0.5, "quantized embed bytes/step ceiling relative to codec 0 (with -wire)")
 		ckpt         = flag.Bool("checkpoint", false, "diff checkpoint reports (dgs-bench -ckptbench) instead of microbench reports")
 		minIncr      = flag.Float64("min-incremental-speedup", 2.0, "incremental-vs-full capture floor (with -checkpoint)")
 		minSkip      = flag.Float64("min-skip-ratio", 0.5, "steady-state dirty-block skip floor (with -checkpoint)")
@@ -286,6 +342,22 @@ func main() {
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "dgs-benchdiff: -current is required")
 		os.Exit(2)
+	}
+	if *wire {
+		baseline, err := loadWire(*baselinePath)
+		fatalIf(err)
+		current, err := loadWire(*currentPath)
+		fatalIf(err)
+		problems := diffWire(baseline, current, *maxWireRatio)
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "dgs-benchdiff: FAIL:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("dgs-benchdiff: OK (worst quantized embed ratio %.3fx over %v, ceiling %.2fx)\n",
+			current.QuantizedEmbedMaxRatio, current.QuantizedCodecs, *maxWireRatio)
+		return
 	}
 	if *ckpt {
 		baseline, err := loadCkpt(*baselinePath)

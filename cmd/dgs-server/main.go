@@ -53,6 +53,7 @@ func main() {
 		secondary = flag.Bool("secondary", false, "enable downward secondary compression")
 		ratio     = flag.Float64("ratio", 0.01, "secondary compression keep ratio")
 		denseDown = flag.Bool("dense-down", false, "ship the whole model downward (ASGD mode)")
+		codec     = flag.String("codec", "mirror", "downward wire codec policy: mirror (answer in the request's codec) or a codec name (raw|ternary|sbc) forced for v3 peers")
 		shards    = flag.Int("shards", 1, "partition layers across this many lock-independent shards")
 		blockSize = flag.Int("block-size", 0, "dirty-tracking block size in elements (power of two; 0 = auto-tune from the layer geometry)")
 		statEvery = flag.Duration("stats", 10*time.Second, "stats print interval")
@@ -99,9 +100,10 @@ func main() {
 	// worker detect the restart and resync.
 	var server ps.Pusher
 	var capSrv capturer
-	restored := ""
+	restored, restoredCodec := "", ""
 	if *ckptDir != "" {
 		if st, path, err := checkpoint.LoadLatest(*ckptDir); err == nil {
+			restoredCodec = st.Codec
 			if *shards > 1 {
 				s, rerr := ps.RestoreShardedServer(cfg, *shards, st)
 				fatalIf(rerr, "restore "+path)
@@ -129,7 +131,8 @@ func main() {
 	// pushes answer from cache instead of re-applying) and resyncs
 	// crashed-and-rejoined workers with a dense snapshot. The admission
 	// gate sits outside it so shed pushes never consume session state.
-	eo := trainer.ExactlyOnceHandler(server)
+	eo, err := trainer.ExactlyOnceHandlerWithCodec(server, *codec)
+	fatalIf(err, "codec policy")
 	gate := transport.NewGate(eo.Handle, *maxInflight)
 	gate.RetryHint = *retryHint
 	gate.DrainHint = *drainTimeout
@@ -140,10 +143,16 @@ func main() {
 	}
 	srv.SetExchangeTimeout(*timeout)
 	defer srv.Close()
-	fmt.Printf("dgs-server: listening on %s (%d params, %d workers, %d shard(s), secondary=%v)\n",
-		srv.Addr(), model.NumParams(), *workers, *shards, *secondary)
+	fmt.Printf("dgs-server: listening on %s (%d params, %d workers, %d shard(s), secondary=%v, codec=%s)\n",
+		srv.Addr(), model.NumParams(), *workers, *shards, *secondary, *codec)
 	if restored != "" {
 		fmt.Printf("dgs-server: restored state from %s (t=%d)\n", restored, capSrv.Timestamp())
+		if restoredCodec != "" && restoredCodec != *codec {
+			// Legal — error folding makes snapshots codec-agnostic — but worth
+			// flagging so an operator notices the policy change.
+			fmt.Printf("dgs-server: note: snapshot was taken under codec policy %q, continuing with %q\n",
+				restoredCodec, *codec)
+		}
 	}
 
 	// Asynchronous checkpointing: a dedicated goroutine captures a
@@ -173,6 +182,7 @@ func main() {
 	if *ckptDir != "" {
 		ckptWriter = &checkpoint.Writer{Dir: *ckptDir, Keep: *ckptKeep}
 		capState = capSrv.NewCaptureState()
+		capState.Codec = *codec
 		ckptDone = make(chan struct{})
 		go func() {
 			defer close(ckptDone)
@@ -215,6 +225,7 @@ func main() {
 	manifest.Set("secondary", *secondary)
 	manifest.Set("secondary_ratio", *ratio)
 	manifest.Set("dense_downward", *denseDown)
+	manifest.Set("codec", *codec)
 	manifest.Set("shards", *shards)
 	manifest.Set("addr", srv.Addr())
 	if *metrics != "" {

@@ -75,7 +75,8 @@ func main() {
 		clip      = flag.Float64("clip", 0, "global-norm gradient clip (0 = off)")
 		wd        = flag.Float64("wd", 0, "L2 weight decay (0 = off)")
 		warmup    = flag.Float64("warmup", 0, "warm-up fraction of training (0 = off)")
-		ternary   = flag.Bool("ternary", false, "ternary-quantize sparse values")
+		ternary   = flag.Bool("ternary", false, "ternary-quantize sparse values (legacy, no error feedback; prefer -codec)")
+		codec     = flag.String("codec", "raw", "wire compression backend (raw|ternary|sbc); lossy codecs fold their error into the residual state")
 		shards    = flag.Int("shards", 1, "parameter-server shards")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		scale     = flag.Float64("datascale", 1, "dataset size multiplier")
@@ -100,7 +101,7 @@ func main() {
 		LR: float32(*lr), Momentum: float32(*momentum),
 		KeepRatio: *keep, Secondary: *secondary,
 		GradClip: float32(*clip), WeightDecay: float32(*wd),
-		WarmupFrac: *warmup, Ternary: *ternary, Shards: *shards,
+		WarmupFrac: *warmup, Ternary: *ternary, Codec: *codec, Shards: *shards,
 		Seed: *seed, DataScale: *scale,
 		TCPAddr: *tcp, PipelineDepth: *pipeline,
 		MetricsAddr: *metrics, ManifestPath: *manifest,

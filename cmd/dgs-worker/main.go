@@ -47,6 +47,7 @@ func main() {
 		lr       = flag.Float64("lr", 0.1, "learning rate")
 		momentum = flag.Float64("momentum", 0.7, "momentum m")
 		keep     = flag.Float64("keep", 0.01, "Top-k keep ratio")
+		codec    = flag.String("codec", "raw", "wire compression backend (raw|ternary|sbc); lossy codecs fold their error into the residual state")
 		seed     = flag.Uint64("seed", 1, "seed (must match other workers for identical θ0)")
 
 		pipeline = flag.Int("pipeline", 1, "in-flight exchanges (1 = synchronous, >1 overlaps comm with compute)")
@@ -89,7 +90,8 @@ func main() {
 		Method: m, Workers: *workers, BatchSize: *batch, Epochs: *epochs,
 		LR: float32(*lr), LRDecayAt: []int{*epochs * 6 / 10, *epochs * 8 / 10},
 		Momentum: float32(*momentum), KeepRatio: *keep,
-		Seed: *seed, Dataset: ds,
+		Codec: *codec,
+		Seed:  *seed, Dataset: ds,
 		BuildModel:    func(rng *tensor.RNG) *nn.Model { return nn.NewResNetS(rng, mcfg) },
 		EvalLimit:     512,
 		PipelineDepth: *pipeline,

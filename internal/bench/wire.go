@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"dgs/internal/ps"
+	"dgs/internal/sparse"
+	"dgs/internal/tensor"
+
+	// Registers the ternary wire codec (codec 1) so the sweep covers it;
+	// raw and sbc register from the sparse package itself.
+	_ "dgs/internal/quant"
+)
+
+// WirePoint is one measured (codec, workload) cell of the wire benchmark:
+// the same pre-generated updates pushed through a single-worker server with
+// both directions encoded in the codec under test, so bytes/step and the
+// ratios against codec 0 are within-run quantities.
+type WirePoint struct {
+	Codec    string `json:"codec"`
+	Workload string `json:"workload"`
+
+	BytesPerStepUp   float64 `json:"bytes_per_step_up"`
+	BytesPerStepDown float64 `json:"bytes_per_step_down"`
+
+	EncodeNsPerOp float64 `json:"encode_ns_per_op"`
+	DecodeNsPerOp float64 `json:"decode_ns_per_op"`
+
+	// UpRatioVsRaw / DownRatioVsRaw compare this codec's bytes/step against
+	// the codec-0 row of the same workload in the same report. For lossy
+	// codecs the upward ratio also reflects values the quantizer dropped
+	// (their error re-enters a later Top-k via residual folding), which is
+	// exactly the wire saving the codec claims.
+	UpRatioVsRaw   float64 `json:"up_ratio_vs_raw"`
+	DownRatioVsRaw float64 `json:"down_ratio_vs_raw"`
+}
+
+// WireReport is the wire-compression benchmark serialised to BENCH_PR8.json.
+type WireReport struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Steps      int    `json:"steps"`
+
+	Results []WirePoint `json:"results"`
+
+	// QuantizedEmbedMaxRatio is the gated number: the worst bytes/step
+	// ratio vs codec 0 across every registered lossy codec and both
+	// directions on the embed workload. The CI gate floors it at 0.5 —
+	// double compression must at least halve the wire.
+	QuantizedEmbedMaxRatio float64 `json:"quantized_embed_max_ratio"`
+
+	// QuantizedCodecs lists the lossy codecs the sweep covered, so the gate
+	// can fail loudly if a registered quantizer went unmeasured.
+	QuantizedCodecs []string `json:"quantized_codecs"`
+}
+
+// measureWire drives steps exchanges of one codec against a fresh
+// single-worker server: encode the (quantized) update, decode it like the
+// server would, push the decoded values, then quantize/encode/decode the
+// downward difference with the error folded into v_k — the full double
+// compression loop of DESIGN.md §14.
+func measureWire(codec sparse.Codec, sizes []int, updates []sparse.Update, steps int) WirePoint {
+	pt := WirePoint{Codec: codec.Name()}
+	srv := ps.NewServer(ps.Config{LayerSizes: sizes, Workers: 1, Quiet: true})
+	q, lossy := codec.(sparse.Quantizer)
+	rng := tensor.NewRNG(0x3170 ^ uint64(codec.ID()))
+
+	var qUp, eUp, qDown, eDown, dec sparse.Update
+	var upBuf, downBuf []byte
+	var upBytes, downBytes int64
+	var encNanos, decNanos time.Duration
+	encOps, decOps := 0, 0
+
+	for i := 0; i < steps; i++ {
+		u := &updates[i%len(updates)]
+		t0 := time.Now()
+		if lossy {
+			q.Quantize(&qUp, u, rng, &eUp)
+			upBuf = codec.AppendEncode(upBuf[:0], &qUp)
+		} else {
+			upBuf = codec.AppendEncode(upBuf[:0], u)
+		}
+		encNanos += time.Since(t0)
+		encOps++
+		upBytes += int64(len(upBuf))
+
+		t0 = time.Now()
+		if err := sparse.DecodeAnyInto(&dec, upBuf); err != nil {
+			panic(fmt.Sprintf("bench: %s up decode: %v", codec.Name(), err))
+		}
+		decNanos += time.Since(t0)
+		decOps++
+
+		G, _ := srv.Push(0, &dec)
+		t0 = time.Now()
+		if lossy && G.NNZ() > 0 {
+			q.Quantize(&qDown, &G, rng, &eDown)
+			if eDown.NNZ() > 0 {
+				srv.FoldDown(0, &eDown)
+			}
+			downBuf = codec.AppendEncode(downBuf[:0], &qDown)
+		} else {
+			downBuf = codec.AppendEncode(downBuf[:0], &G)
+		}
+		encNanos += time.Since(t0)
+		encOps++
+		downBytes += int64(len(downBuf))
+
+		t0 = time.Now()
+		if err := sparse.DecodeAnyInto(&dec, downBuf); err != nil {
+			panic(fmt.Sprintf("bench: %s down decode: %v", codec.Name(), err))
+		}
+		decNanos += time.Since(t0)
+		decOps++
+	}
+
+	pt.BytesPerStepUp = float64(upBytes) / float64(steps)
+	pt.BytesPerStepDown = float64(downBytes) / float64(steps)
+	pt.EncodeNsPerOp = float64(encNanos.Nanoseconds()) / float64(encOps)
+	pt.DecodeNsPerOp = float64(decNanos.Nanoseconds()) / float64(decOps)
+	return pt
+}
+
+// RunWire executes the wire-compression benchmark over every registered
+// codec on the embed and cnn workloads. steps is the exchanges measured per
+// cell (0 = the 64-step default; the CI smoke run uses fewer).
+func RunWire(steps int) (*WireReport, error) {
+	if steps <= 0 {
+		steps = 64
+	}
+	rng := tensor.NewRNG(0x31A3)
+	workloads := []struct {
+		name    string
+		sizes   []int
+		updates []sparse.Update
+	}{
+		{"embed", embedLayerSizes(), embedUpdates(rng, 1, 4)[0]},
+		{"cnn", cnnSizes, cnnUpdates(rng, 1, 4)[0]},
+	}
+
+	rep := &WireReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Steps:      steps,
+	}
+	for _, wl := range workloads {
+		var rawUp, rawDown float64
+		for _, codec := range sparse.Codecs() {
+			pt := measureWire(codec, wl.sizes, wl.updates, steps)
+			pt.Workload = wl.name
+			if codec.ID() == sparse.CodecRaw {
+				rawUp, rawDown = pt.BytesPerStepUp, pt.BytesPerStepDown
+			}
+			if rawUp > 0 {
+				pt.UpRatioVsRaw = pt.BytesPerStepUp / rawUp
+			}
+			if rawDown > 0 {
+				pt.DownRatioVsRaw = pt.BytesPerStepDown / rawDown
+			}
+			rep.Results = append(rep.Results, pt)
+
+			_, lossy := codec.(sparse.Quantizer)
+			if wl.name == "embed" && lossy {
+				rep.QuantizedCodecs = append(rep.QuantizedCodecs, codec.Name())
+				if pt.UpRatioVsRaw > rep.QuantizedEmbedMaxRatio {
+					rep.QuantizedEmbedMaxRatio = pt.UpRatioVsRaw
+				}
+				if pt.DownRatioVsRaw > rep.QuantizedEmbedMaxRatio {
+					rep.QuantizedEmbedMaxRatio = pt.DownRatioVsRaw
+				}
+			}
+		}
+	}
+	return rep, nil
+}

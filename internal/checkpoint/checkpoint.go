@@ -133,6 +133,14 @@ type State struct {
 	// validates them against the target's geometry.
 	NumWorkers int
 	BlockShift uint
+	// Codec records the wire codec policy the server ran with (DESIGN.md
+	// §14), so an operator restoring a snapshot can reproduce the run's
+	// configuration. Informational: quantization error is folded into the
+	// persisted v_k/residual state at exchange time, so the snapshot is
+	// codec-agnostic and a restored server may legally change policy.
+	// Encoded as a header extension; snapshots from before the field decode
+	// with it empty.
+	Codec string
 	// Shards holds one entry per server shard.
 	Shards []ShardState
 }
@@ -227,6 +235,16 @@ func Encode(st *State) []byte {
 		hdr = le64(hdr, sizes[gl])
 		hdr = le32(hdr, shardOf[gl])
 	}
+	// Header extension: length-prefixed codec name. Pre-extension decoders
+	// required the header to end at the layer table, so files carrying the
+	// extension are format-compatible forward only; pre-extension files
+	// (no trailing bytes) still decode, with Codec empty.
+	codec := st.Codec
+	if len(codec) > 255 {
+		codec = codec[:255]
+	}
+	hdr = append(hdr, byte(len(codec)))
+	hdr = append(hdr, codec...)
 
 	buf := make([]byte, 0, 12+len(hdr)+4+est(st))
 	buf = le32(buf, fileMagic)
@@ -360,10 +378,19 @@ func decodeHeader(hdr []byte) (*State, error) {
 	if nShards < 1 || nLayers < 1 || nShards > nLayers {
 		return nil, fmt.Errorf("checkpoint: implausible geometry (%d shards, %d layers)", nShards, nLayers)
 	}
-	// The layer table must fit the header exactly.
-	if len(hdr)-fixed != 12*nLayers {
+	// The layer table must fit the header, optionally followed by the
+	// length-prefixed codec-name extension (absent in pre-extension files).
+	rest := len(hdr) - fixed - 12*nLayers
+	if rest < 0 {
 		return nil, fmt.Errorf("checkpoint: layer table is %d bytes, want %d for %d layers",
 			len(hdr)-fixed, 12*nLayers, nLayers)
+	}
+	if rest > 0 {
+		ext := hdr[fixed+12*nLayers:]
+		if n := int(ext[0]); rest != 1+n {
+			return nil, fmt.Errorf("checkpoint: codec extension is %d bytes, want %d", rest, 1+n)
+		}
+		st.Codec = string(ext[1:])
 	}
 	st.Shards = make([]ShardState, nShards)
 	off := fixed

@@ -464,3 +464,48 @@ func (o *DGC) SetKeepRatio(r float64) { o.KeepRatio = r }
 
 // SetKeepRatio implements RatioSetter.
 func (o *SAMomentum) SetKeepRatio(r float64) { o.KeepRatio = r }
+
+// ResidualFolder is implemented by optimizers whose local accumulation can
+// absorb upward quantization error. When a lossy wire codec projects the
+// prepared update g onto q, the shortfall e = g − q never reaches the
+// server; folding e back into the accumulation the Top-k selects from puts
+// it on the same path as sparsification residual, so it re-enters a later
+// update instead of being lost (Double Quantization's error feedback). The
+// dense baselines keep no residual state and deliberately do not implement
+// this — quantizing them is the biased TernGrad setting.
+type ResidualFolder interface {
+	// FoldResidual adds e into the optimizer's accumulation state. Called
+	// between Prepare invocations, after the quantized update was shipped.
+	FoldResidual(e *sparse.Update)
+}
+
+// FoldResidual implements ResidualFolder: the error rejoins the dropping
+// residual r, exactly where an unsent coordinate would have kept it.
+func (o *GradientDropping) FoldResidual(e *sparse.Update) {
+	for i := range e.Chunks {
+		c := &e.Chunks[i]
+		sparse.Scatter(c, o.r[c.Layer], 1)
+	}
+}
+
+// FoldResidual implements ResidualFolder: the error rejoins the velocity
+// accumulation v that Top-k selects from. u stays masked — the momentum
+// factor masking already stopped stale momentum at the sent coordinates,
+// and the error is a send shortfall, not fresh gradient.
+func (o *DGC) FoldResidual(e *sparse.Update) {
+	for i := range e.Chunks {
+		c := &e.Chunks[i]
+		sparse.Scatter(c, o.v[c.Layer], 1)
+	}
+}
+
+// FoldResidual implements ResidualFolder: the error rejoins the velocity u.
+// Sent coordinates retain their velocity under Algorithm 3, so adding the
+// unshipped remainder there keeps the telescoped per-coordinate sum (paper
+// Eq. 16) accounting for everything the server has not yet received.
+func (o *SAMomentum) FoldResidual(e *sparse.Update) {
+	for i := range e.Chunks {
+		c := &e.Chunks[i]
+		sparse.Scatter(c, o.u[c.Layer], 1)
+	}
+}

@@ -280,6 +280,39 @@ func (s *ShardedServer) Push(worker int, g *sparse.Update) (sparse.Update, uint6
 	return sp.out, clock
 }
 
+// FoldDown splits the downward quantization error by owning shard and
+// folds each piece into that shard's v_k (see Server.FoldDown). It runs
+// between the worker's exchanges — the transport serialises them — so
+// reusing the worker's split scratch is safe: Push resets it on entry, and
+// the downward update Push returned lives in separate per-shard storage.
+func (s *ShardedServer) FoldDown(worker int, e *sparse.Update) {
+	if worker < 0 || worker >= len(s.split) {
+		panic(fmt.Sprintf("ps: worker %d out of range [0,%d)", worker, len(s.split)))
+	}
+	if e.NNZ() == 0 {
+		return
+	}
+	sp := &s.split[worker]
+	for sh := range sp.perShard {
+		sp.perShard[sh].Chunks = sp.perShard[sh].Chunks[:0]
+	}
+	for i := range e.Chunks {
+		c := e.Chunks[i]
+		if c.Layer < 0 || c.Layer >= len(s.layerShard) {
+			panic(fmt.Sprintf("ps: sharded fold references layer %d of %d", c.Layer, len(s.layerShard)))
+		}
+		sh := s.layerShard[c.Layer]
+		local := c // copy the chunk header; index/value slices are shared
+		local.Layer = s.layerLocal[c.Layer]
+		sp.perShard[sh].Chunks = append(sp.perShard[sh].Chunks, local)
+	}
+	for sh, shard := range s.shards {
+		if len(sp.perShard[sh].Chunks) > 0 {
+			shard.FoldDown(worker, &sp.perShard[sh])
+		}
+	}
+}
+
 // Resync resets the rejoining worker's state on every shard. The sharded
 // exchange stays consistent because a resync happens between exchanges (the
 // transport layer serialises a worker's exchanges), so no shard can see a

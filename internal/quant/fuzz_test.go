@@ -1,0 +1,99 @@
+package quant
+
+import (
+	"bytes"
+	"testing"
+
+	"dgs/internal/sparse"
+	"dgs/internal/tensor"
+)
+
+// FuzzTernaryDecode feeds arbitrary bytes to the ternary wire decoder
+// (through the registry's generation sniffing, as the exchange path does):
+// it must never panic, hostile frames must error, and anything it accepts
+// must re-encode to a decodable fixpoint. The target lives in this package
+// because the codec registers from this package's init — the sparse-package
+// fuzzer cannot see it.
+func FuzzTernaryDecode(f *testing.F) {
+	tern, err := sparse.CodecByName("ternary")
+	if err != nil {
+		f.Fatal(err)
+	}
+	u := &sparse.Update{Chunks: []sparse.Chunk{
+		{Layer: 0, Idx: []int32{0, 3, 9}, Val: []float32{1, -2, 0.5}},
+		{Layer: 2, Idx: []int32{7, 70, 700}, Val: []float32{42, -1, -3}},
+	}}
+	var q, e sparse.Update
+	tern.(sparse.Quantizer).Quantize(&q, u, tensor.NewRNG(1), &e)
+	valid := tern.AppendEncode(nil, &q)
+	f.Add(valid)
+	f.Add(tern.AppendEncode(nil, u)) // unquantized input: the ±max projection
+	f.Add(tern.AppendEncode(nil, &sparse.Update{}))
+	f.Add(sparse.AppendV3Header(nil, sparse.CodecTernary)) // empty body
+	f.Add(valid[:len(valid)-1])                            // truncated sign bytes
+	corrupted := append([]byte(nil), valid...)
+	corrupted[len(corrupted)/2] ^= 0xFF
+	f.Add(corrupted)
+
+	// Hostile frame: one chunk claiming ~34 billion entries with nothing
+	// behind it. The nnz bound must reject it before allocating.
+	hugeNNZ := sparse.AppendV3Header(nil, sparse.CodecTernary)
+	hugeNNZ = append(hugeNNZ, 0x01, 0x00)                   // one chunk, layer 0
+	hugeNNZ = append(hugeNNZ, 0x00, 0x00, 0x80, 0x3F)       // scale = 1.0
+	hugeNNZ = append(hugeNNZ, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // nnz ≈ 34 billion
+	f.Add(hugeNNZ)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var u sparse.Update
+		if err := sparse.DecodeAnyInto(&u, b); err != nil {
+			return
+		}
+		id, err := sparse.FrameCodecID(b)
+		if err != nil {
+			t.Fatalf("accepted frame has no codec id: %v", err)
+		}
+		c, err := sparse.CodecByID(id)
+		if err != nil {
+			t.Fatalf("accepted frame has unregistered codec: %v", err)
+		}
+		re := c.AppendEncode(nil, &u)
+		var u2 sparse.Update
+		if err := sparse.DecodeAnyInto(&u2, re); err != nil {
+			t.Fatalf("re-encode of accepted input failed to decode: %v", err)
+		}
+		if !bytes.Equal(re, c.AppendEncode(nil, &u2)) {
+			t.Fatal("encoding not a fixpoint")
+		}
+	})
+}
+
+// TestTernaryDecodeRejectsHostileFrames pins the hostile behaviour down as a
+// plain test: implausible counts, truncated bodies, and trailing bytes must
+// error, never panic or allocate proportionally to a claimed count.
+func TestTernaryDecodeRejectsHostileFrames(t *testing.T) {
+	tern, err := sparse.CodecByName("ternary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := tern.AppendEncode(nil, &sparse.Update{Chunks: []sparse.Chunk{
+		{Layer: 0, Idx: []int32{1, 5}, Val: []float32{2, -2}},
+	}})
+	frames := map[string][]byte{
+		"empty body":       sparse.AppendV3Header(nil, sparse.CodecTernary),
+		"huge chunk count": append(sparse.AppendV3Header(nil, sparse.CodecTernary), 0xFF, 0xFF, 0xFF, 0x7F),
+		"huge nnz":         append(sparse.AppendV3Header(nil, sparse.CodecTernary), 0x01, 0x00, 0, 0, 0x80, 0x3F, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F),
+		"truncated signs":  valid[:len(valid)-1],
+		"trailing byte":    append(append([]byte(nil), valid...), 0x00),
+		"wrong codec slot": func() []byte { // ternary body behind the sbc id
+			b := append([]byte(nil), valid...)
+			b[4] = sparse.CodecSBC
+			return b
+		}(),
+	}
+	var u sparse.Update
+	for name, b := range frames {
+		if err := sparse.DecodeAnyInto(&u, b); err == nil {
+			t.Errorf("%s: hostile frame decoded without error", name)
+		}
+	}
+}

@@ -10,6 +10,25 @@ import (
 	"dgs/internal/tensor"
 )
 
+// ternValue is the per-coordinate TernGrad rule shared by TernarizeChunk
+// and the ternary wire codec's Quantize: keep v at magnitude s with
+// probability |v|/s (unbiased, E[q] = v), else round to zero. Exactly one
+// RNG draw is consumed per call, so both callers see the same stream.
+func ternValue(v, s float32, rng sparse.ValueRNG) float32 {
+	p := v / s // in [-1,1]
+	neg := p < 0
+	if neg {
+		p = -p
+	}
+	if rng.Float32() < p {
+		if neg {
+			return -s
+		}
+		return s
+	}
+	return 0
+}
+
 // TernarizeChunk quantizes a chunk's values to {−s, 0, +s} where s is the
 // max |value|, using stochastic rounding so the quantization is unbiased:
 // E[q_i] = v_i. It returns the quantized chunk (indices shared) and the
@@ -31,17 +50,7 @@ func TernarizeChunk(c *sparse.Chunk, rng *tensor.RNG) (sparse.Chunk, float32) {
 		return out, 0
 	}
 	for i, v := range c.Val {
-		p := v / s // in [-1,1]
-		neg := p < 0
-		if neg {
-			p = -p
-		}
-		// Keep with probability |v|/s at magnitude s: unbiased.
-		if rng.Float32() < p {
-			q := s
-			if neg {
-				q = -s
-			}
+		if q := ternValue(v, s, rng); q != 0 {
 			out.Idx = append(out.Idx, c.Idx[i])
 			out.Val = append(out.Val, q)
 		}

@@ -1,0 +1,73 @@
+package trainer
+
+import (
+	"testing"
+
+	"dgs/internal/sparse"
+)
+
+// The convergence gate behind the CI `convergence` job: every registered
+// wire codec must reach the target training loss in no more steps than the
+// uncompressed asynchronous baseline (GD-async in the paper's terminology,
+// ASGD here). Single-worker runs with fixed seeds are fully deterministic —
+// the lossy codecs' stochastic rounding draws from a seeded RNG — so this
+// is a stable gate, not a statistical one.
+
+// stepsToLoss returns the 1-based index of the first recorded training-loss
+// point whose trailing window mean is at or below target, or -1 if the run
+// never gets there. The window smooths per-batch noise so the gate measures
+// convergence, not a lucky batch.
+func stepsToLoss(res *Result, target float64, window int) int {
+	pts := res.Loss.Points()
+	sum := 0.0
+	for i, p := range pts {
+		sum += p.Y
+		if i >= window {
+			sum -= pts[i-window].Y
+		}
+		n := window
+		if i+1 < n {
+			n = i + 1
+		}
+		if sum/float64(n) <= target {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+func TestConvergenceNoWorseThanGDAsync(t *testing.T) {
+	const target = 0.30
+	const window = 8
+
+	base, err := Run(quickConfig(ASGD, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSteps := stepsToLoss(base, target, window)
+	if baseSteps < 0 {
+		t.Fatalf("GD-async never reached loss %.2f; target miscalibrated", target)
+	}
+	t.Logf("GD-async reaches loss %.2f in %d steps", target, baseSteps)
+
+	for _, c := range sparse.Codecs() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			cfg := quickConfig(DGS, 1)
+			cfg.Codec = c.Name()
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps := stepsToLoss(res, target, window)
+			if steps < 0 {
+				t.Fatalf("DGS/%s never reached loss %.2f", c.Name(), target)
+			}
+			t.Logf("DGS/%s reaches loss %.2f in %d steps", c.Name(), target, steps)
+			if steps > baseSteps {
+				t.Fatalf("DGS/%s needs %d steps to reach loss %.2f; GD-async needs %d — compression slowed convergence",
+					c.Name(), steps, target, baseSteps)
+			}
+		})
+	}
+}

@@ -36,6 +36,10 @@ func (w *worker) runPipelined(depth int) (*nn.Model, error) {
 	}
 	loader := data.NewLoader(cfg.Dataset, cfg.BatchSize, cfg.Seed+uint64(1000+w.id), true)
 	qrng := tensor.NewRNG(cfg.Seed + uint64(7000+w.id))
+	// The pipelined path assumes a matched-version server: with several
+	// exchanges in flight there is no safe point to renegotiate after a
+	// bad-magic rejection, so a v2 peer requires -codec raw (DESIGN.md §14).
+	codec := newUpCodec(cfg.Codec, opt)
 
 	// Use the transport's native pipelining when it has one (the
 	// PipelinedSession mux client); otherwise drive the synchronous stack
@@ -69,7 +73,7 @@ func (w *worker) runPipelined(depth int) (*nn.Model, error) {
 		if err != nil {
 			return fmt.Errorf("trainer: worker %d exchange: %w", w.id, err)
 		}
-		if err := sparse.DecodeInto(&w.down, respBytes); err != nil {
+		if err := sparse.DecodeAnyInto(&w.down, respBytes); err != nil {
 			return fmt.Errorf("trainer: worker %d decode response: %w", w.id, err)
 		}
 		p0 := time.Now()
@@ -126,7 +130,7 @@ func (w *worker) runPipelined(depth int) (*nn.Model, error) {
 			upd = quant.TernarizeUpdate(&upd, qrng)
 		}
 		e0 := time.Now()
-		payload := sparse.AppendEncode(encBufs[encSlot][:0], &upd)
+		payload := codec.encode(encBufs[encSlot][:0], &upd, qrng)
 		encBufs[encSlot] = payload
 		encSlot = (encSlot + 1) % len(encBufs)
 		pipeMet.stageEncode.Observe(time.Since(e0).Seconds())

@@ -94,8 +94,18 @@ type Config struct {
 	GradClip float32
 	// Ternary additionally quantizes the sparse upward values to
 	// {−s, 0, +s} with unbiased stochastic rounding — the TernGrad
-	// combination the paper's conclusion proposes as future work.
+	// combination the paper's conclusion proposes as future work. Unlike
+	// Codec below it drops the quantization error (no feedback) and ships
+	// the result as raw f32 frames; it predates the codec registry and is
+	// kept for the paper-table comparisons.
 	Ternary bool
+	// Codec selects the wire compression backend for both directions
+	// ("raw"/"" = exact sparse chunks, "ternary", "sbc"; DESIGN.md §14).
+	// Lossy codecs fold their projection error into the worker's optimizer
+	// residual on the way up and into the server's v_k on the way down, so
+	// the Eq. 5 drain invariant still holds bitwise. The server mirrors the
+	// worker's codec per exchange, so mixed fleets interoperate.
+	Codec string
 	// WeightDecay, when positive, adds L2 regularisation: the gradient
 	// becomes ∇ + wd·θ before the update rule (standard for ResNet-style
 	// training).
@@ -222,6 +232,9 @@ func (c *Config) normalise() error {
 			return fmt.Errorf("trainer: momentum %v out of (0,1) for %s", c.Momentum, c.Method)
 		}
 	}
+	if _, err := sparse.CodecByName(c.Codec); err != nil {
+		return fmt.Errorf("trainer: %w", err)
+	}
 	return nil
 }
 
@@ -266,23 +279,15 @@ var updPool = sync.Pool{New: func() any { return new(sparse.Update) }}
 
 // Handler builds the server-side transport handler: decode → Push → encode.
 // It is shared by the in-process loopback and the TCP server binary, and
-// accepts either a plain Server or a ShardedServer.
+// accepts either a plain Server or a ShardedServer. Responses mirror the
+// request's wire codec (see HandlerWithCodec in codec.go), so raw clients —
+// including v2 peers — get bitwise the legacy behaviour.
 func Handler(server ps.Pusher) transport.Handler {
-	hm := newHandlerMetrics(server.LayerSizes())
-	return func(worker int, payload []byte) ([]byte, error) {
-		g := updPool.Get().(*sparse.Update)
-		defer updPool.Put(g)
-		g.Chunks = g.Chunks[:0]
-		if len(payload) > 0 {
-			if err := sparse.DecodeInto(g, payload); err != nil {
-				return nil, fmt.Errorf("trainer: decode push from worker %d: %w", worker, err)
-			}
-		}
-		G, _ := server.Push(worker, g)
-		resp := sparse.Encode(&G)
-		hm.observe(len(payload), len(resp))
-		return resp, nil
+	h, err := HandlerWithCodec(server, "mirror")
+	if err != nil {
+		panic(err) // the mirror policy is always valid
 	}
+	return h
 }
 
 // ExactlyOnceHandler wraps Handler in the transport session middleware:
@@ -292,10 +297,11 @@ func Handler(server ps.Pusher) transport.Handler {
 // the TCP deployment path (cmd/dgs-server, chaos tests) should serve;
 // sessionless clients pass through unchanged.
 func ExactlyOnceHandler(server ps.Pusher) *transport.ExactlyOnce {
-	return transport.NewExactlyOnce(Handler(server), func(worker int) error {
-		server.Resync(worker)
-		return nil
-	})
+	eo, err := ExactlyOnceHandlerWithCodec(server, "mirror")
+	if err != nil {
+		panic(err) // the mirror policy is always valid
+	}
+	return eo
 }
 
 // Run executes a full training run and returns its result.
@@ -464,8 +470,10 @@ func syncModel(tr transport.Transport, id int, model *nn.Model) error {
 		if err != nil {
 			return fmt.Errorf("trainer: final sync: %w", err)
 		}
-		G, err := sparse.Decode(resp)
-		if err != nil {
+		// Empty pushes are always answered in codec 0 (the drain rule), but
+		// decode defensively through the registry regardless.
+		G := &sparse.Update{}
+		if err := sparse.DecodeAnyInto(G, resp); err != nil {
 			return fmt.Errorf("trainer: final sync decode: %w", err)
 		}
 		// Dense-downward servers always answer with every coordinate, so
@@ -552,6 +560,7 @@ func (w *worker) run() (*nn.Model, error) {
 	}
 	loader := data.NewLoader(cfg.Dataset, cfg.BatchSize, cfg.Seed+uint64(1000+w.id), true)
 	qrng := tensor.NewRNG(cfg.Seed + uint64(7000+w.id))
+	codec := newUpCodec(cfg.Codec, opt)
 
 	nextEval := float64(cfg.EvalEveryEpochs)
 	params := model.Params()
@@ -595,13 +604,19 @@ func (w *worker) run() (*nn.Model, error) {
 		// Transports either consume the payload synchronously (loopback) or
 		// copy it (session framing, TCP write), so the buffer is free for
 		// reuse as soon as Exchange returns.
-		w.encBuf = sparse.AppendEncode(w.encBuf[:0], &upd)
+		w.encBuf = codec.encode(w.encBuf[:0], &upd, qrng)
 
 		respBytes, err := w.tr.Exchange(w.id, w.encBuf)
+		if codec.fallbackToRaw(err) {
+			// The server predates the v3 frame: re-send the same quantized
+			// values as a raw frame and stay on codec 0 from here on.
+			w.encBuf = sparse.AppendEncode(w.encBuf[:0], &codec.q)
+			respBytes, err = w.tr.Exchange(w.id, w.encBuf)
+		}
 		if err != nil {
 			return model, fmt.Errorf("trainer: worker %d exchange: %w", w.id, err)
 		}
-		if err := sparse.DecodeInto(&w.down, respBytes); err != nil {
+		if err := sparse.DecodeAnyInto(&w.down, respBytes); err != nil {
 			return model, fmt.Errorf("trainer: worker %d decode response: %w", w.id, err)
 		}
 		for ci := range w.down.Chunks {
