@@ -50,6 +50,7 @@ bench:
 	go run ./cmd/dgs-bench -serverbench
 	go run ./cmd/dgs-bench -ckptbench
 	go run ./cmd/dgs-bench -wirebench
+	go run ./cmd/dgs-bench -aggbench
 	$(MAKE) bench-paper PAPER_BENCHTIME=$(PAPER_BENCHTIME)
 
 # The paper benchmarks run full (short-scale) training per artefact, so the
@@ -67,9 +68,12 @@ bench-paper:
 # secondary gather vs the full-scan Top-k baseline floored at 3x, and the
 # cnn workload's scan/skip ratio floored at 0.5 under auto block-shift),
 # then the wire gate (quantized bytes/step on the embed workload must stay
-# at or under 0.5x codec 0, again a within-run ratio). SMOKE_OUT,
-# PIPE_SMOKE_OUT, SERVER_SMOKE_OUT, CKPT_SMOKE_OUT and WIRE_SMOKE_OUT are
-# uploaded as CI artifacts.
+# at or under 0.5x codec 0, again a within-run ratio), then the
+# aggregation-tier gate (64 TCP workers through 4 aggregators vs direct in
+# the same run; the tier must multiply saturated pushes/sec by at least 3x
+# with the encode-once share cache demonstrably active). SMOKE_OUT,
+# PIPE_SMOKE_OUT, SERVER_SMOKE_OUT, CKPT_SMOKE_OUT, WIRE_SMOKE_OUT and
+# AGG_SMOKE_OUT are uploaded as CI artifacts.
 SMOKE_BENCHTIME ?= 100ms
 SMOKE_OUT ?= bench-smoke.json
 PIPE_SMOKE_STEPS ?= 60
@@ -80,6 +84,8 @@ CKPT_SMOKE_PUSHES ?= 64
 CKPT_SMOKE_OUT ?= ckpt-smoke.json
 WIRE_SMOKE_STEPS ?= 16
 WIRE_SMOKE_OUT ?= wire-smoke.json
+AGG_SMOKE_PUSHES ?= 24
+AGG_SMOKE_OUT ?= agg-smoke.json
 
 bench-smoke:
 	go run ./cmd/dgs-bench -microbench -benchtime $(SMOKE_BENCHTIME) -json $(SMOKE_OUT)
@@ -92,6 +98,8 @@ bench-smoke:
 	go run ./cmd/dgs-benchdiff -checkpoint -baseline BENCH_PR6.json -current $(CKPT_SMOKE_OUT)
 	go run ./cmd/dgs-bench -wirebench -wire-steps $(WIRE_SMOKE_STEPS) -json $(WIRE_SMOKE_OUT)
 	go run ./cmd/dgs-benchdiff -wire -baseline BENCH_PR8.json -current $(WIRE_SMOKE_OUT)
+	go run ./cmd/dgs-bench -aggbench -agg-pushes $(AGG_SMOKE_PUSHES) -json $(AGG_SMOKE_OUT)
+	go run ./cmd/dgs-benchdiff -agg -baseline BENCH_PR9.json -current $(AGG_SMOKE_OUT)
 
 # Short local fuzz pass over the wire and checkpoint decoders (the scheduled
 # CI job runs each target for minutes; see .github/workflows/fuzz.yml).

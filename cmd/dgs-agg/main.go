@@ -1,0 +1,142 @@
+// Command dgs-agg runs one aggregator of the hierarchical aggregation tier
+// (DESIGN.md §15): it terminates worker sessions, merges their sparse
+// pushes into one combined push per window, forwards it to the upstream
+// dgs-server over a single pipelined connection, and fans the downward
+// diffs back out from a local mirror. Workers point their -addr at this
+// process instead of the server; model geometry flags must match both
+// sides.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dgs/internal/agg"
+	"dgs/internal/nn"
+	"dgs/internal/telemetry"
+	"dgs/internal/tensor"
+	"dgs/internal/transport"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7100", "listen address for downstream workers")
+		upstream = flag.String("upstream", "127.0.0.1:7000", "upstream dgs-server address")
+		upWorker = flag.Int("upstream-worker", 0, "this aggregator's worker id at the upstream server")
+		maxWork  = flag.Int("max-workers", 64, "downstream worker slots (distinct worker ids)")
+		classes  = flag.Int("classes", 10, "model output classes (must match server and workers)")
+		inC      = flag.Int("inc", 3, "input channels")
+		inHW     = flag.Int("hw", 16, "input spatial size")
+
+		window     = flag.Duration("window-wait", 500*time.Microsecond, "max wait before an unfilled window is forwarded")
+		windowSize = flag.Int("window", 16, "worker pushes merged into one upstream push")
+		depth      = flag.Int("depth", 2, "windows in flight on the upstream connection")
+
+		retries    = flag.Int("retries", 8, "upstream redial retries per exchange")
+		backoff    = flag.Duration("backoff", 50*time.Millisecond, "base upstream retry backoff")
+		maxBackoff = flag.Duration("max-backoff", 2*time.Second, "cap on the upstream retry backoff")
+		timeout    = flag.Duration("timeout", 30*time.Second, "upstream per-exchange deadline (0 disables)")
+
+		maxInflight  = flag.Int("max-inflight", 0, "admission bound on concurrently executing downstream exchanges (0 = unbounded)")
+		retryHint    = flag.Duration("retry-hint", 5*time.Millisecond, "backoff hint attached to overload rejections")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM before exiting anyway")
+		blockSize    = flag.Int("block-size", 0, "mirror dirty-tracking block size in elements (power of two; 0 = auto)")
+		statEvery    = flag.Duration("stats", 10*time.Second, "stats print interval")
+		metrics      = flag.String("metrics", "", "telemetry HTTP address for /metrics and /debug/pprof (empty disables)")
+	)
+	flag.Parse()
+
+	if *metrics != "" {
+		msrv, err := telemetry.ListenAndServe(*metrics, nil)
+		fatalIf(err, "telemetry")
+		defer msrv.Close()
+		fmt.Printf("dgs-agg: telemetry on %s/metrics\n", msrv.URL())
+	}
+
+	model := nn.NewResNetS(tensor.NewRNG(1), nn.ResNetSConfig{
+		InC: *inC, H: *inHW, W: *inHW,
+		StageChannels: []int{8, 16, 32}, Blocks: 1, Classes: *classes,
+	})
+	shift := uint(0)
+	if *blockSize > 0 {
+		if *blockSize&(*blockSize-1) != 0 {
+			fmt.Fprintf(os.Stderr, "dgs-agg: -block-size %d is not a power of two\n", *blockSize)
+			os.Exit(2)
+		}
+		for 1<<shift < *blockSize {
+			shift++
+		}
+	}
+
+	a, err := agg.New(agg.Config{
+		LayerSizes:     model.LayerSizes(),
+		MaxWorkers:     *maxWork,
+		Window:         *windowSize,
+		WindowWait:     *window,
+		Depth:          *depth,
+		UpstreamWorker: *upWorker,
+		Dial: func() (transport.MuxLink, error) {
+			c, err := transport.DialMux(*upstream)
+			if err != nil {
+				return nil, err
+			}
+			c.ExchangeTimeout = *timeout
+			return c, nil
+		},
+		MaxRetries: *retries, Backoff: *backoff, MaxBackoff: *maxBackoff,
+		MaxInflight: *maxInflight, RetryHint: *retryHint, DrainHint: *drainTimeout,
+		BlockShift: shift,
+	})
+	fatalIf(err, "config")
+
+	srv, err := transport.ListenTCP(*addr, a.Handler())
+	fatalIf(err, "listen")
+	fmt.Printf("dgs-agg: %s → %s (upstream worker %d), window %d/%s, depth %d\n",
+		srv.Addr(), *upstream, *upWorker, *windowSize, *window, *depth)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(*statEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			st := a.Stats()
+			ss := a.Sessions()
+			dedup := 1.0
+			if st.MergedNNZ > 0 {
+				dedup = float64(st.PartNNZ) / float64(st.MergedNNZ)
+			}
+			fmt.Printf("dgs-agg: windows=%d parts=%d dedup=%.2fx frames(shared=%d encoded=%d) resets=%d sessions(joins=%d replays=%d)\n",
+				st.Windows, st.Parts, dedup, st.SharedFrames, st.EncodedFrames,
+				st.UpstreamResets, ss.Hellos, ss.Replays)
+		case s := <-sig:
+			// Graceful drain: stop admitting, finish the in-flight windows
+			// upstream, then close. Workers get RetryAfter frames and back
+			// off; once Close returns the upstream has absorbed everything
+			// this tier acknowledged.
+			fmt.Printf("dgs-agg: %v — draining\n", s)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			if err := a.Drain(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "dgs-agg: drain incomplete: %v\n", err)
+			}
+			cancel()
+			srv.Close()
+			a.Close()
+			fmt.Println("dgs-agg: shutting down")
+			return
+		}
+	}
+}
+
+func fatalIf(err error, what string) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dgs-agg: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+}

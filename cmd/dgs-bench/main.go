@@ -43,6 +43,8 @@ func main() {
 		ckpt       = flag.Bool("ckptbench", false, "run the checkpoint capture/interference benchmark and write a JSON report")
 		wire       = flag.Bool("wirebench", false, "run the per-codec wire compression benchmark and write a JSON report")
 		wireSteps  = flag.Int("wire-steps", 0, "measured exchanges per codec/workload cell for -wirebench (0 = default 64)")
+		aggb       = flag.Bool("aggbench", false, "run the aggregation-tier fan-in benchmark (64 TCP workers, direct vs tiered) and write a JSON report")
+		aggPush    = flag.Int("agg-pushes", 0, "measured pushes per worker for -aggbench (0 = default 64)")
 		microOut   = flag.String("json", "", "report path (default BENCH_PR2.json for -microbench, BENCH_PR4.json for -pipebench, BENCH_PR7.json for -serverbench, BENCH_PR6.json for -ckptbench, BENCH_PR8.json for -wirebench)")
 		benchtime  = flag.String("benchtime", "", "per-benchmark time or count for -microbench (e.g. 1s, 100x)")
 		pipeSteps  = flag.Int("pipe-steps", 0, "measured steps per pipelined run (0 = default 240)")
@@ -131,6 +133,17 @@ func main() {
 			path = "BENCH_PR8.json"
 		}
 		if err := runWire(path, *wireSteps); err != nil {
+			fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *aggb {
+		path := *microOut
+		if path == "" {
+			path = "BENCH_PR9.json"
+		}
+		if err := runAgg(path, *aggPush); err != nil {
 			fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -236,6 +249,35 @@ func runServer(path string, pushesPerWorker int) error {
 		return err
 	}
 	fmt.Printf("[server report written to %s]\n", path)
+	return nil
+}
+
+func runAgg(path string, pushesPerWorker int) error {
+	rep, err := bench.RunAgg(pushesPerWorker)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d workers, %d pushes each, upstream max-inflight %d\n",
+		rep.Workers, rep.PushesPerWorker, rep.MaxInflight)
+	for _, r := range rep.Results {
+		extra := ""
+		if r.Topology == "tiered" {
+			extra = fmt.Sprintf("  dedup %5.2fx shared-frames %4.1f%% window %4.1f parts",
+				r.DedupFactor, 100*r.SharedFrameRatio, r.MeanWindowParts)
+		}
+		fmt.Printf("%-7s %d agg(s): %9.0f pushes/sec (p99 %7.0f µs, worst worker %7.0f µs)%s\n",
+			r.Topology, r.Aggregators, r.PushesPerSec, r.P99Micros, r.WorstWorkerP99Micros, extra)
+	}
+	fmt.Printf("gated: tiered 4-agg speedup %.2fx over direct\n", rep.SpeedupAt4)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[agg report written to %s]\n", path)
 	return nil
 }
 

@@ -39,6 +39,14 @@
 // must stay above -min-cnn-skip (default 0.5) now that auto block-shift
 // adapts the block size to the layer geometry.
 //
+// With -agg the reports are aggregation-tier reports (dgs-bench -aggbench,
+// tracked in BENCH_PR9.json). The gated quantity is once more a within-run
+// ratio: the 4-aggregator tier and the direct topology saturate the same
+// server with the same worker fleet over real TCP in the same process, so
+// the tier's pushes/sec multiple must clear an absolute floor
+// (-min-agg-speedup, default 3×), with the encode-once share cache
+// demonstrably active (nonzero shared-frame ratio).
+//
 // Usage:
 //
 //	dgs-bench -microbench -benchtime 100ms -json current.json
@@ -188,6 +196,56 @@ func diffServer(baseline, current *bench.ServerReport, minSpeedup, minSecondary,
 	return problems
 }
 
+// diffAgg gates the aggregation-tier report. The gated quantity is a
+// within-run ratio — the 4-aggregator tier and the direct topology push the
+// same workload over real TCP in the same process — so the floor is
+// absolute and portable: the tier must multiply saturated per-shard
+// throughput by at least -min-agg-speedup on any machine. The committed
+// baseline must itself satisfy the gate so a stale tracked file fails
+// loudly here, not in review.
+func diffAgg(baseline, current *bench.AggReport, minSpeedup float64) []string {
+	var problems []string
+	check := func(rep *bench.AggReport, name string) {
+		if rep.SpeedupAt4 < minSpeedup {
+			problems = append(problems, fmt.Sprintf(
+				"%s: tiered 4-agg speedup %.2fx below floor %.2fx (vs direct topology, same run)",
+				name, rep.SpeedupAt4, minSpeedup))
+		}
+		var direct, tiered4 *bench.AggPoint
+		for i := range rep.Results {
+			pt := &rep.Results[i]
+			switch {
+			case pt.Topology == "direct":
+				direct = pt
+			case pt.Topology == "tiered" && pt.Aggregators == 4:
+				tiered4 = pt
+			}
+		}
+		if direct == nil || tiered4 == nil {
+			problems = append(problems, fmt.Sprintf("%s: direct and/or tiered 4-agg row missing from report", name))
+			return
+		}
+		if direct.PushesPerSec <= 0 || tiered4.PushesPerSec <= 0 {
+			problems = append(problems, fmt.Sprintf(
+				"%s: non-positive throughput (direct %.1f, tiered-4 %.1f pushes/sec)",
+				name, direct.PushesPerSec, tiered4.PushesPerSec))
+		}
+		if tiered4.SharedFrameRatio <= 0 {
+			problems = append(problems, fmt.Sprintf(
+				"%s: tiered 4-agg shared-frame ratio is zero — the encode-once cache never hit, "+
+					"so the measured speedup does not exercise the gated mechanism", name))
+		}
+		if tiered4.DedupFactor < 1 {
+			problems = append(problems, fmt.Sprintf(
+				"%s: tiered 4-agg dedup factor %.2f below 1 (merged nnz exceeds part nnz)",
+				name, tiered4.DedupFactor))
+		}
+	}
+	check(baseline, "baseline")
+	check(current, "current")
+	return problems
+}
+
 // diffWire gates the wire-compression report. The gated quantity is a
 // within-run ratio (each codec's bytes/step against codec 0 on the same
 // updates in the same process), so the floor is absolute and portable:
@@ -307,6 +365,18 @@ func loadPipeline(path string) (*bench.PipelineReport, error) {
 	return &rep, nil
 }
 
+func loadAgg(path string) (*bench.AggReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.AggReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
 func load(path string) (*bench.Report, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -333,6 +403,8 @@ func main() {
 		minCNNSkip   = flag.Float64("min-cnn-skip", 0.5, "cnn workload scan/skip ratio floor under auto block-shift (with -server)")
 		wire         = flag.Bool("wire", false, "diff wire-compression reports (dgs-bench -wirebench) instead of microbench reports")
 		maxWireRatio = flag.Float64("max-wire-ratio", 0.5, "quantized embed bytes/step ceiling relative to codec 0 (with -wire)")
+		aggTier      = flag.Bool("agg", false, "diff aggregation-tier reports (dgs-bench -aggbench) instead of microbench reports")
+		minAgg       = flag.Float64("min-agg-speedup", 3.0, "tiered 4-agg pushes/sec floor vs the direct topology (with -agg)")
 		ckpt         = flag.Bool("checkpoint", false, "diff checkpoint reports (dgs-bench -ckptbench) instead of microbench reports")
 		minIncr      = flag.Float64("min-incremental-speedup", 2.0, "incremental-vs-full capture floor (with -checkpoint)")
 		minSkip      = flag.Float64("min-skip-ratio", 0.5, "steady-state dirty-block skip floor (with -checkpoint)")
@@ -357,6 +429,28 @@ func main() {
 		}
 		fmt.Printf("dgs-benchdiff: OK (worst quantized embed ratio %.3fx over %v, ceiling %.2fx)\n",
 			current.QuantizedEmbedMaxRatio, current.QuantizedCodecs, *maxWireRatio)
+		return
+	}
+	if *aggTier {
+		baseline, err := loadAgg(*baselinePath)
+		fatalIf(err)
+		current, err := loadAgg(*currentPath)
+		fatalIf(err)
+		problems := diffAgg(baseline, current, *minAgg)
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "dgs-benchdiff: FAIL:", p)
+			}
+			os.Exit(1)
+		}
+		var shared float64
+		for _, pt := range current.Results {
+			if pt.Topology == "tiered" && pt.Aggregators == 4 {
+				shared = pt.SharedFrameRatio
+			}
+		}
+		fmt.Printf("dgs-benchdiff: OK (tiered 4-agg %.2fx vs direct, floor %.2fx; %.0f%% downward frames shared)\n",
+			current.SpeedupAt4, *minAgg, 100*shared)
 		return
 	}
 	if *ckpt {

@@ -97,60 +97,30 @@ func main() {
 		PipelineDepth: *pipeline,
 	}
 
-	injectFaults := *faultDrop > 0 || *faultTorn > 0 || *faultDup > 0 || *faultReset > 0 || *faultDelay > 0
-
-	// Transport stack, top to bottom: SessionClient (exactly-once envelope)
-	// → Reconnecting (redial + re-send the same frame) → optional Faulty
-	// (seeded chaos) → TCPClient with a per-exchange deadline. A fresh stack
-	// per attempt is a fresh worker incarnation: its hello makes the server
-	// resync this id and ship a dense snapshot.
-	//
-	// With -pipeline > 1 and no fault injection, the stack is replaced by the
-	// native PipelinedSession: the same exactly-once envelope plus redial and
-	// replay, but multiplexing up to depth in-flight exchanges over one
-	// connection (wire v2 request-id framing). Under fault injection the
-	// synchronous stack stays — the trainer drives it through a comms
-	// goroutine so the chaos decorators keep their one-frame-at-a-time
-	// semantics.
-	var dials uint64
-	dialStack := func() (transport.Transport, error) {
-		if *pipeline > 1 && !injectFaults {
-			ps := transport.NewPipelinedSession(func() (transport.MuxLink, error) {
-				c, err := transport.DialMux(*addr)
-				if err != nil {
-					return nil, err
-				}
-				c.ExchangeTimeout = *timeout
-				return c, nil
-			}, *pipeline)
-			ps.MaxRetries = *retries
-			return ps, nil
+	// Transport stack: trainer.NewDialStack builds the canonical client
+	// layering — SessionClient → Reconnecting → optional Faulty → TCPClient,
+	// or the native PipelinedSession when -pipeline > 1 without fault
+	// injection. Each call is one worker incarnation; its hello makes the
+	// server resync this id and ship a dense snapshot.
+	var faults *transport.FaultConfig
+	if *faultDrop > 0 || *faultTorn > 0 || *faultDup > 0 || *faultReset > 0 || *faultDelay > 0 {
+		faults = &transport.FaultConfig{
+			Seed:           *faultSeed,
+			DropBeforeSend: *faultDrop,
+			DropAfterSend:  *faultTorn,
+			Duplicate:      *faultDup,
+			Reset:          *faultReset,
+			Delay:          0.25,
+			MaxDelay:       *faultDelay,
 		}
-		rc := transport.NewReconnecting(func() (transport.Transport, error) {
-			c, err := transport.DialTCP(*addr)
-			if err != nil {
-				return nil, err
-			}
-			c.ExchangeTimeout = *timeout
-			dials++
-			if injectFaults {
-				return transport.NewFaulty(c, transport.FaultConfig{
-					Seed:           *faultSeed + dials,
-					DropBeforeSend: *faultDrop,
-					DropAfterSend:  *faultTorn,
-					Duplicate:      *faultDup,
-					Reset:          *faultReset,
-					Delay:          0.25,
-					MaxDelay:       *faultDelay,
-				}), nil
-			}
-			return c, nil
-		})
-		rc.MaxRetries = *retries
-		rc.Backoff = *backoff
-		rc.MaxBackoff = *maxBackoff
-		return transport.NewSessionClient(rc), nil
 	}
+	dialStack := trainer.NewDialStack(trainer.DialOptions{
+		Addr:     *addr,
+		Pipeline: *pipeline,
+		Retries:  *retries, Backoff: *backoff, MaxBackoff: *maxBackoff,
+		Timeout: *timeout,
+		Faults:  faults,
+	})
 
 	fmt.Printf("dgs-worker %d: connecting to %s, method=%s\n", *id, *addr, m)
 	res, err := trainer.RunResilientWorkerLoop(cfg, *id, dialStack, *rejoins)

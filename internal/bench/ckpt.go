@@ -126,7 +126,7 @@ func RunCkpt(pushesPerWorker int) (*CkptReport, error) {
 	// work, minus the disk). The interval mimics an aggressive deployment —
 	// continuous back-to-back checkpointing would measure a configuration
 	// nobody runs.
-	base, _ := runSaturation(srv, updates, workers, pushesPerWorker)
+	base, _, _ := runSaturation(srv, updates, workers, pushesPerWorker)
 	rep.PushesPerSecBaseline = base
 
 	stop := make(chan struct{})
@@ -151,7 +151,7 @@ func RunCkpt(pushesPerWorker int) (*CkptReport, error) {
 			captures.Add(1)
 		}
 	}()
-	withCkpt, _ := runSaturation(srv, updates, workers, pushesPerWorker)
+	withCkpt, _, _ := runSaturation(srv, updates, workers, pushesPerWorker)
 	close(stop)
 	wg.Wait()
 	rep.PushesPerSecCkpt = withCkpt

@@ -23,9 +23,14 @@ type ServerPoint struct {
 
 	PushesPerSec float64 `json:"pushes_per_sec"`
 	P99Micros    float64 `json:"p99_push_micros"`
+	// WorstWorkerP99Micros is the highest per-worker p99: the fleet-wide
+	// p99 above hides a starved worker (one straggler's tail is 1/N of the
+	// merged samples), this number does not.
+	WorstWorkerP99Micros float64 `json:"worst_worker_p99_push_micros"`
 
-	BaselinePushesPerSec float64 `json:"baseline_pushes_per_sec"`
-	BaselineP99Micros    float64 `json:"baseline_p99_push_micros"`
+	BaselinePushesPerSec      float64 `json:"baseline_pushes_per_sec"`
+	BaselineP99Micros         float64 `json:"baseline_p99_push_micros"`
+	BaselineWorstWorkerMicros float64 `json:"baseline_worst_worker_p99_push_micros"`
 
 	// Speedup is PushesPerSec / BaselinePushesPerSec — the regression gate
 	// floors the 8-worker embed row at 2×.
@@ -174,11 +179,13 @@ func cnnUpdates(rng *tensor.RNG, workers, variants int) [][]sparse.Update {
 }
 
 // runSaturation drives N worker goroutines through pushesPerWorker
-// exchanges each against srv and reports aggregate pushes/sec plus the p99
-// per-push latency across all workers. Two unmeasured warm-up pushes per
-// worker populate the per-worker server scratch first; a barrier then
-// releases all workers at once.
-func runSaturation(srv serverTarget, updates [][]sparse.Update, workers, pushesPerWorker int) (pushesPerSec, p99Micros float64) {
+// exchanges each against srv and reports aggregate pushes/sec, the p99
+// per-push latency across all workers, and the worst single worker's p99
+// (the straggler detector — a starved worker's tail vanishes into the
+// merged percentile). Two unmeasured warm-up pushes per worker populate the
+// per-worker server scratch first; a barrier then releases all workers at
+// once.
+func runSaturation(srv serverTarget, updates [][]sparse.Update, workers, pushesPerWorker int) (pushesPerSec, p99Micros, worstWorkerP99Micros float64) {
 	for k := 0; k < workers; k++ {
 		for i := 0; i < 2; i++ {
 			srv.Push(k, &updates[k][i%len(updates[k])])
@@ -210,12 +217,33 @@ func runSaturation(srv serverTarget, updates [][]sparse.Update, workers, pushesP
 	wall := time.Since(t0)
 
 	merged := make([]time.Duration, 0, workers*pushesPerWorker)
+	worst := time.Duration(0)
 	for k := range lat {
 		merged = append(merged, lat[k]...)
+		if p := p99Of(lat[k]); p > worst {
+			worst = p
+		}
 	}
 	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
 	p99 := merged[(len(merged)*99)/100-1]
-	return float64(workers*pushesPerWorker) / wall.Seconds(), float64(p99) / float64(time.Microsecond)
+	return float64(workers*pushesPerWorker) / wall.Seconds(),
+		float64(p99) / float64(time.Microsecond),
+		float64(worst) / float64(time.Microsecond)
+}
+
+// p99Of sorts a copy of one worker's latency samples and returns their p99.
+func p99Of(lat []time.Duration) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(lat))
+	copy(s, lat)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (len(s)*99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
 }
 
 // measurePoint benchmarks one (workload, workers, shards) cell: baseline
@@ -236,7 +264,7 @@ func measurePoint(workload string, sizes []int, updates [][]sparse.Update, worke
 	}
 
 	base := ps.NewBaselineServer(baseCfg)
-	pt.BaselinePushesPerSec, pt.BaselineP99Micros = runSaturation(base, updates, workers, pushesPerWorker)
+	pt.BaselinePushesPerSec, pt.BaselineP99Micros, pt.BaselineWorstWorkerMicros = runSaturation(base, updates, workers, pushesPerWorker)
 
 	var cur serverTarget
 	if shards > 1 {
@@ -244,7 +272,7 @@ func measurePoint(workload string, sizes []int, updates [][]sparse.Update, worke
 	} else {
 		cur = ps.NewServer(cfg)
 	}
-	pt.PushesPerSec, pt.P99Micros = runSaturation(cur, updates, workers, pushesPerWorker)
+	pt.PushesPerSec, pt.P99Micros, pt.WorstWorkerP99Micros = runSaturation(cur, updates, workers, pushesPerWorker)
 
 	st := cur.Stats()
 	if total := st.DiffBlocksScanned + st.DiffBlocksSkipped; total > 0 {

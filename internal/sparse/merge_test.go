@@ -1,0 +1,235 @@
+package sparse
+
+import (
+	"bytes"
+	"testing"
+
+	"dgs/internal/raceflag"
+	"dgs/internal/tensor"
+)
+
+// mergeRef is an order-preserving reference merge: scatter every src into a
+// dense accumulator left to right, then read the union support back in
+// ascending order. Identical float op order to MergeInto (per coordinate, a
+// left-to-right chain over srcs), so results must match bitwise.
+func mergeRef(srcs []*Update, sizes []int) *Update {
+	dense := make([][]float32, len(sizes))
+	hit := make([][]bool, len(sizes))
+	for i, n := range sizes {
+		dense[i] = make([]float32, n)
+		hit[i] = make([]bool, n)
+	}
+	for _, u := range srcs {
+		for i := range u.Chunks {
+			c := &u.Chunks[i]
+			for j, ix := range c.Idx {
+				dense[c.Layer][ix] += c.Val[j]
+				hit[c.Layer][ix] = true
+			}
+		}
+	}
+	out := &Update{}
+	for layer := range dense {
+		c := out.NextChunk()
+		c.Layer = layer
+		for ix, h := range hit[layer] {
+			if h {
+				c.Idx = append(c.Idx, int32(ix))
+				c.Val = append(c.Val, dense[layer][ix])
+			}
+		}
+		if len(c.Idx) == 0 {
+			out.Chunks = out.Chunks[:len(out.Chunks)-1]
+		}
+	}
+	return out
+}
+
+func TestMergeMatchesDenseReference(t *testing.T) {
+	rng := tensor.NewRNG(41)
+	sizes := []int{512, 33, 2048}
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(6)
+		srcs := make([]*Update, k)
+		for s := range srcs {
+			// Varying ratios force heavy index collisions on the small layer.
+			srcs[s] = randUpdate(rng, sizes, 0.02+0.3*float64(s%3))
+		}
+		got := Merge(srcs)
+		want := mergeRef(srcs, sizes)
+		if !updatesEqual(got, want) {
+			t.Fatalf("trial %d (k=%d): merge differs from dense reference", trial, k)
+		}
+		if err := got.Validate(sizes); err != nil {
+			t.Fatalf("trial %d: merged update not canonical: %v", trial, err)
+		}
+	}
+}
+
+// The determinism contract: for a fixed src order the merged frame is
+// byte-identical no matter how it was produced, and the k-way merge equals
+// the pairwise left fold — merge(a,b,c) == merge(merge(a,b),c) bitwise.
+func TestMergeAssociativityLeftFold(t *testing.T) {
+	rng := tensor.NewRNG(42)
+	sizes := []int{1024, 64}
+	srcs := make([]*Update, 5)
+	for s := range srcs {
+		srcs[s] = randUpdate(rng, sizes, 0.2)
+	}
+	kway := Encode(Merge(srcs))
+
+	fold := srcs[0]
+	for _, u := range srcs[1:] {
+		fold = Merge([]*Update{fold, u})
+	}
+	if !bytes.Equal(kway, Encode(fold)) {
+		t.Fatal("k-way merge frame differs from the pairwise left fold")
+	}
+
+	// Re-running the same merge with a reused Merger must reproduce the frame.
+	var m Merger
+	var dst Update
+	for i := 0; i < 3; i++ {
+		m.MergeInto(&dst, srcs)
+		if !bytes.Equal(kway, Encode(&dst)) {
+			t.Fatalf("rerun %d: merged frame not reproducible", i)
+		}
+	}
+}
+
+// Arrival order at the aggregator is nondeterministic; the aggregator
+// canonicalises by sorting contributions by worker slot before merging.
+// This pins the property that makes that sufficient: the frame depends only
+// on the src sequence handed to MergeInto, so any permutation restored to
+// canonical order merges to the identical frame.
+func TestMergeDeterministicAfterCanonicalOrder(t *testing.T) {
+	rng := tensor.NewRNG(43)
+	sizes := []int{777}
+	srcs := make([]*Update, 4)
+	for s := range srcs {
+		srcs[s] = randUpdate(rng, sizes, 0.5) // dense overlap: every pair collides
+	}
+	want := Encode(Merge(srcs))
+	perms := [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}}
+	scratch := make([]*Update, len(srcs))
+	for _, p := range perms {
+		// Arrive in permuted order...
+		for i, s := range p {
+			scratch[i] = srcs[s]
+		}
+		// ...restore canonical order the way the aggregator does...
+		canon := make([]*Update, len(srcs))
+		copy(canon, scratch)
+		for i := 1; i < len(canon); i++ { // insertion sort by original slot
+			for j := i; j > 0 && indexOf(srcs, canon[j]) < indexOf(srcs, canon[j-1]); j-- {
+				canon[j], canon[j-1] = canon[j-1], canon[j]
+			}
+		}
+		if got := Encode(Merge(canon)); !bytes.Equal(got, want) {
+			t.Fatalf("permutation %v: canonical-order merge differs", p)
+		}
+	}
+}
+
+func indexOf(srcs []*Update, u *Update) int {
+	for i, s := range srcs {
+		if s == u {
+			return i
+		}
+	}
+	return -1
+}
+
+// Duplicate-index collisions: every src hits the same coordinates, and the
+// sum must fold in src order (left to right), including cancellation to
+// exactly 0.0 — the coordinate stays in the union.
+func TestMergeDuplicateCollisions(t *testing.T) {
+	a := &Update{Chunks: []Chunk{{Layer: 0, Idx: []int32{3, 7}, Val: []float32{1.5, 10}}}}
+	b := &Update{Chunks: []Chunk{{Layer: 0, Idx: []int32{3, 9}, Val: []float32{2.25, 4}}}}
+	c := &Update{Chunks: []Chunk{{Layer: 0, Idx: []int32{3, 7}, Val: []float32{-3.75, -10}}}}
+	got := Merge([]*Update{a, b, c})
+	if len(got.Chunks) != 1 {
+		t.Fatalf("want 1 chunk, got %d", len(got.Chunks))
+	}
+	ch := &got.Chunks[0]
+	wantIdx := []int32{3, 7, 9}
+	wantVal := []float32{(1.5 + 2.25) + -3.75, 10 + -10, 4}
+	if len(ch.Idx) != len(wantIdx) {
+		t.Fatalf("want %d coords, got %d", len(wantIdx), len(ch.Idx))
+	}
+	for j := range wantIdx {
+		if ch.Idx[j] != wantIdx[j] || ch.Val[j] != wantVal[j] {
+			t.Fatalf("coord %d: got (%d,%v), want (%d,%v)", j, ch.Idx[j], ch.Val[j], wantIdx[j], wantVal[j])
+		}
+	}
+	if ch.Val[1] != 0 {
+		t.Fatal("cancelled coordinate must survive with value 0")
+	}
+}
+
+// Disjoint layer sets and empty srcs: layers interleave in ascending order
+// and empties contribute nothing.
+func TestMergeLayerUnion(t *testing.T) {
+	a := &Update{Chunks: []Chunk{
+		{Layer: 0, Idx: []int32{1}, Val: []float32{1}},
+		{Layer: 4, Idx: []int32{2}, Val: []float32{4}},
+	}}
+	b := &Update{Chunks: []Chunk{
+		{Layer: 2, Idx: []int32{0}, Val: []float32{2}},
+		{Layer: 4, Idx: []int32{9}, Val: []float32{40}},
+	}}
+	empty := &Update{}
+	got := Merge([]*Update{empty, a, b, empty})
+	wantLayers := []int{0, 2, 4}
+	if len(got.Chunks) != len(wantLayers) {
+		t.Fatalf("want layers %v, got %d chunks", wantLayers, len(got.Chunks))
+	}
+	for i, l := range wantLayers {
+		if got.Chunks[i].Layer != l {
+			t.Fatalf("chunk %d: layer %d, want %d", i, got.Chunks[i].Layer, l)
+		}
+	}
+	if c := &got.Chunks[2]; len(c.Idx) != 2 || c.Idx[0] != 2 || c.Idx[1] != 9 {
+		t.Fatalf("layer 4 union wrong: %v", c.Idx)
+	}
+	if nothing := Merge([]*Update{empty, empty}); len(nothing.Chunks) != 0 {
+		t.Fatal("merge of empties must be empty")
+	}
+}
+
+// The PR-2-style allocation lock: steady-state merges with a reused Merger
+// and destination allocate nothing.
+func TestMergeSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	rng := tensor.NewRNG(45)
+	sizes := []int{8192, 512, 2048}
+	srcs := make([]*Update, 8)
+	for s := range srcs {
+		srcs[s] = randUpdate(rng, sizes, 0.05)
+	}
+	var m Merger
+	var dst Update
+	m.MergeInto(&dst, srcs) // warm the cursors and chunk storage
+	if allocs := testing.AllocsPerRun(20, func() { m.MergeInto(&dst, srcs) }); allocs > 0 {
+		t.Fatalf("steady-state merge allocates %v objects, want 0", allocs)
+	}
+}
+
+func BenchmarkMerge16Way(b *testing.B) {
+	rng := tensor.NewRNG(46)
+	sizes := []int{1 << 16, 1 << 16, 1 << 16, 1 << 16}
+	srcs := make([]*Update, 16)
+	for s := range srcs {
+		srcs[s] = randUpdate(rng, sizes, 0.01)
+	}
+	var m Merger
+	var dst Update
+	m.MergeInto(&dst, srcs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MergeInto(&dst, srcs)
+	}
+}

@@ -19,6 +19,7 @@ var tmet = struct {
 	sessStale       *telemetry.Counter
 	sessBadSeq      *telemetry.Counter
 	sessPassthrough *telemetry.Counter
+	sessResets      *telemetry.Counter
 
 	faultDropBefore *telemetry.Counter
 	faultDropAfter  *telemetry.Counter
@@ -59,6 +60,8 @@ func init() {
 		"Frames rejected for unorderable sequence numbers.")
 	tmet.sessPassthrough = reg.Counter("dgs_session_passthrough_total",
 		"Sessionless frames forwarded without exactly-once guarantees.")
+	tmet.sessResets = reg.Counter("dgs_session_resets_total",
+		"Incarnation resets fencing every downstream session (upstream restarts).")
 
 	fault := func(kind, help string) *telemetry.Counter {
 		return reg.Counter("dgs_transport_injected_faults_total", help, "kind", kind)

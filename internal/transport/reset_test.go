@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// ExactlyOnce.Reset fences every downstream session in place: same
+// middleware object, same connections, but a fresh incarnation and an empty
+// session table — the aggregator's tool for forcing its workers through
+// the hello → resync path after an upstream restart invalidates the mirror.
+
+func TestResetFencesEstablishedSessions(t *testing.T) {
+	joins := 0
+	eo := NewExactlyOnce(okHandler, func(worker int) error { joins++; return nil })
+	c := NewSessionClient(NewLoopback(eo.Handle))
+
+	if _, err := c.Exchange(3, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exchange(3, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	before := eo.Incarnation()
+
+	eo.Reset()
+	if eo.Incarnation() == before {
+		t.Fatal("Reset kept the old incarnation id")
+	}
+
+	// The established client's next frame must bounce as the recoverable
+	// restart error, never the fatal supersession error.
+	_, err := c.Exchange(3, []byte("c"))
+	if !errors.Is(err, ErrServerRestarted) {
+		t.Fatalf("exchange after Reset: got %v, want ErrServerRestarted", err)
+	}
+	if errors.Is(err, ErrStaleSession) {
+		t.Fatal("Reset must not surface as the fatal stale-session error")
+	}
+
+	// Re-hello in place: the retry joins the new incarnation and triggers
+	// the resync hook.
+	resp, err := c.Exchange(3, []byte("d"))
+	if err != nil {
+		t.Fatalf("rejoin exchange: %v", err)
+	}
+	if string(resp) != "\x03d" {
+		t.Fatalf("rejoin resp %q", resp)
+	}
+	if joins != 2 { // initial hello + post-reset rejoin
+		t.Fatalf("onJoin ran %d times, want 2", joins)
+	}
+	if st := eo.Stats(); st.Resets != 1 || st.Hellos != 2 || st.StaleRejected != 1 {
+		t.Fatalf("post-reset stats %+v: want 1 reset, 2 hellos (join + rejoin), 1 stale rejection", st)
+	}
+}
+
+// A Reset landing while a handler is executing must not mix worlds: the
+// in-flight exchange answers with the incarnation it read at entry, so its
+// client accepts the response, and only the following frame gets fenced.
+func TestResetMidExchangeAnswersOldIncarnation(t *testing.T) {
+	eo := NewExactlyOnce(okHandler, nil)
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	eo.h = func(worker int, payload []byte) ([]byte, error) {
+		once.Do(func() { close(inHandler); <-release })
+		return okHandler(worker, payload)
+	}
+	c := NewSessionClient(NewLoopback(eo.Handle))
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Exchange(5, []byte("x"))
+		done <- err
+	}()
+	<-inHandler
+	eo.Reset()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight exchange failed across Reset: %v", err)
+	}
+	// The next frame sees the new incarnation and recovers via re-hello.
+	if _, err := c.Exchange(5, []byte("y")); !errors.Is(err, ErrServerRestarted) {
+		t.Fatalf("post-reset exchange: got %v, want ErrServerRestarted", err)
+	}
+	if _, err := c.Exchange(5, []byte("z")); err != nil {
+		t.Fatalf("rejoin exchange: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Exactly-once session protocol.
@@ -288,6 +289,8 @@ type SessionStats struct {
 	BadSeq uint64
 	// Passthrough counts sessionless frames forwarded verbatim.
 	Passthrough uint64
+	// Resets counts incarnation resets (Reset calls) fencing every session.
+	Resets uint64
 }
 
 // DefaultReplayWindow is the per-worker replay cache depth: the server can
@@ -351,8 +354,10 @@ type ExactlyOnce struct {
 	Window int
 
 	// incarnation identifies this server process in every response (see the
-	// restart-detection protocol comment). Immutable once serving begins.
-	incarnation uint64
+	// restart-detection protocol comment). It changes only through Reset;
+	// Handle reads it once per frame so a single response is internally
+	// consistent even when a Reset lands mid-exchange.
+	incarnation atomic.Uint64
 
 	mu      sync.Mutex
 	workers map[int]*workerSession
@@ -363,11 +368,13 @@ type ExactlyOnce struct {
 // fresh random incarnation id: by construction a restarted server announces
 // a different incarnation than its predecessor.
 func NewExactlyOnce(h Handler, onJoin func(worker int) error) *ExactlyOnce {
-	return &ExactlyOnce{h: h, onJoin: onJoin, workers: map[int]*workerSession{}, incarnation: randomSession()}
+	e := &ExactlyOnce{h: h, onJoin: onJoin, workers: map[int]*workerSession{}}
+	e.incarnation.Store(randomSession())
+	return e
 }
 
 // Incarnation returns the server incarnation id sent in every response.
-func (e *ExactlyOnce) Incarnation() uint64 { return e.incarnation }
+func (e *ExactlyOnce) Incarnation() uint64 { return e.incarnation.Load() }
 
 // SetIncarnation overrides the incarnation id (tests; must run before the
 // first exchange is served). Zero is reserved and rejected.
@@ -375,7 +382,27 @@ func (e *ExactlyOnce) SetIncarnation(id uint64) {
 	if id == 0 {
 		panic("transport: zero server incarnation is reserved")
 	}
-	e.incarnation = id
+	e.incarnation.Store(id)
+}
+
+// Reset adopts a fresh incarnation and discards every worker session and
+// replay cache, exactly as if the process hosting this middleware had
+// crashed and restarted — without dropping TCP connections. From the next
+// frame on, every client observes an incarnation change, surfaces
+// ErrServerRestarted, and re-hellos through the OnJoin resync path. An
+// aggregator calls this when its upstream restarts: the local mirror it
+// rebuilds from the new upstream has no memory of its workers' v_k, so the
+// workers must be fenced into resyncing rather than served diffs computed
+// against forgotten state. Exchanges already executing finish against the
+// old incarnation (they read it at entry); their workers are fenced on the
+// following frame.
+func (e *ExactlyOnce) Reset() {
+	e.mu.Lock()
+	e.workers = map[int]*workerSession{}
+	e.stats.Resets++
+	e.mu.Unlock()
+	e.incarnation.Store(randomSession())
+	tmet.sessResets.Inc()
 }
 
 // Stats snapshots the middleware counters.
@@ -418,6 +445,9 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One consistent incarnation per frame: a Reset landing mid-exchange
+	// must not produce a response mixing old-world state with the new id.
+	inc := e.incarnation.Load()
 	ws := e.workerState(worker)
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
@@ -428,7 +458,7 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 			// never said hello): fence it off without touching state.
 			e.count(func(s *SessionStats) { s.StaleRejected++ })
 			tmet.sessStale.Inc()
-			return encodeSessionResp(statusStaleSession, ws.epoch, e.incarnation, nil), nil
+			return encodeSessionResp(statusStaleSession, ws.epoch, inc, nil), nil
 		}
 		// New incarnation: bump the epoch, resync, adopt. The hello frame
 		// itself then executes as the incarnation's first exchange, so its
@@ -436,7 +466,7 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 		// handler is a DGS parameter server).
 		if e.onJoin != nil {
 			if err := e.onJoin(worker); err != nil {
-				return encodeSessionResp(statusError, ws.epoch, e.incarnation,
+				return encodeSessionResp(statusError, ws.epoch, inc,
 					[]byte(fmt.Sprintf("join worker %d: %v", worker, err))), nil
 			}
 		}
@@ -466,7 +496,7 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 		}
 		e.count(func(s *SessionStats) { s.BadSeq++ })
 		tmet.sessBadSeq.Inc()
-		return encodeSessionResp(statusBadSeq, ws.epoch, e.incarnation, nil), nil
+		return encodeSessionResp(statusBadSeq, ws.epoch, inc, nil), nil
 	case seq == ws.lastSeq+1:
 		resp, herr := e.h(worker, app)
 		var enc []byte
@@ -475,9 +505,9 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 			// applying it (decode errors precede any mutation), and a retry
 			// of the same bytes must fail identically rather than re-enter
 			// the handler.
-			enc = encodeSessionResp(statusError, ws.epoch, e.incarnation, []byte(herr.Error()))
+			enc = encodeSessionResp(statusError, ws.epoch, inc, []byte(herr.Error()))
 		} else {
-			enc = encodeSessionResp(statusOK, ws.epoch, e.incarnation, resp)
+			enc = encodeSessionResp(statusOK, ws.epoch, inc, resp)
 		}
 		ws.lastSeq = seq
 		ws.store(seq, enc)
@@ -490,6 +520,6 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 		// means two live clients share a session (a protocol violation).
 		e.count(func(s *SessionStats) { s.BadSeq++ })
 		tmet.sessBadSeq.Inc()
-		return encodeSessionResp(statusBadSeq, ws.epoch, e.incarnation, nil), nil
+		return encodeSessionResp(statusBadSeq, ws.epoch, inc, nil), nil
 	}
 }
