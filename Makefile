@@ -51,6 +51,7 @@ bench:
 	go run ./cmd/dgs-bench -ckptbench
 	go run ./cmd/dgs-bench -wirebench
 	go run ./cmd/dgs-bench -aggbench
+	go run ./cmd/dgs-bench -readbench
 	$(MAKE) bench-paper PAPER_BENCHTIME=$(PAPER_BENCHTIME)
 
 # The paper benchmarks run full (short-scale) training per artefact, so the
@@ -71,9 +72,13 @@ bench-paper:
 # at or under 0.5x codec 0, again a within-run ratio), then the
 # aggregation-tier gate (64 TCP workers through 4 aggregators vs direct in
 # the same run; the tier must multiply saturated pushes/sec by at least 3x
-# with the encode-once share cache demonstrably active). SMOKE_OUT,
-# PIPE_SMOKE_OUT, SERVER_SMOKE_OUT, CKPT_SMOKE_OUT, WIRE_SMOKE_OUT and
-# AGG_SMOKE_OUT are uploaded as CI artifacts.
+# with the encode-once share cache demonstrably active), and finally the
+# read-path gate (push throughput under concurrent full-model scrapers must
+# stay at least 2x the frozen full-lock snapshot path — a within-run ratio —
+# and the replica must drain bitwise onto the upstream M over a lossy codec
+# with its poll gap bounded). SMOKE_OUT, PIPE_SMOKE_OUT, SERVER_SMOKE_OUT,
+# CKPT_SMOKE_OUT, WIRE_SMOKE_OUT, AGG_SMOKE_OUT and READ_SMOKE_OUT are
+# uploaded as CI artifacts.
 SMOKE_BENCHTIME ?= 100ms
 SMOKE_OUT ?= bench-smoke.json
 PIPE_SMOKE_STEPS ?= 60
@@ -86,6 +91,8 @@ WIRE_SMOKE_STEPS ?= 16
 WIRE_SMOKE_OUT ?= wire-smoke.json
 AGG_SMOKE_PUSHES ?= 24
 AGG_SMOKE_OUT ?= agg-smoke.json
+READ_SMOKE_PUSHES ?= 32
+READ_SMOKE_OUT ?= read-smoke.json
 
 bench-smoke:
 	go run ./cmd/dgs-bench -microbench -benchtime $(SMOKE_BENCHTIME) -json $(SMOKE_OUT)
@@ -100,6 +107,8 @@ bench-smoke:
 	go run ./cmd/dgs-benchdiff -wire -baseline BENCH_PR8.json -current $(WIRE_SMOKE_OUT)
 	go run ./cmd/dgs-bench -aggbench -agg-pushes $(AGG_SMOKE_PUSHES) -json $(AGG_SMOKE_OUT)
 	go run ./cmd/dgs-benchdiff -agg -baseline BENCH_PR9.json -current $(AGG_SMOKE_OUT)
+	go run ./cmd/dgs-bench -readbench -read-pushes $(READ_SMOKE_PUSHES) -json $(READ_SMOKE_OUT)
+	go run ./cmd/dgs-benchdiff -read -baseline BENCH_PR10.json -current $(READ_SMOKE_OUT)
 
 # Short local fuzz pass over the wire and checkpoint decoders (the scheduled
 # CI job runs each target for minutes; see .github/workflows/fuzz.yml).
@@ -110,3 +119,4 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzDecodeAny$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/sparse
 	go test -run '^$$' -fuzz '^FuzzTernaryDecode$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/quant
 	go test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/checkpoint
+	go test -run '^$$' -fuzz '^FuzzReplicaFrame$$' -fuzztime $(FUZZ_SMOKE_TIME) ./internal/replica

@@ -12,6 +12,7 @@
 //	dgs-bench -pipebench              # pipelined-exchange benchmark → BENCH_PR4.json
 //	dgs-bench -serverbench            # many-worker server saturation → BENCH_PR7.json
 //	dgs-bench -wirebench              # per-codec wire bytes/step → BENCH_PR8.json
+//	dgs-bench -readbench              # snapshot stall + replica lag → BENCH_PR10.json
 //	dgs-bench -microbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -45,6 +46,8 @@ func main() {
 		wireSteps  = flag.Int("wire-steps", 0, "measured exchanges per codec/workload cell for -wirebench (0 = default 64)")
 		aggb       = flag.Bool("aggbench", false, "run the aggregation-tier fan-in benchmark (64 TCP workers, direct vs tiered) and write a JSON report")
 		aggPush    = flag.Int("agg-pushes", 0, "measured pushes per worker for -aggbench (0 = default 64)")
+		readb      = flag.Bool("readbench", false, "run the read-path benchmark (snapshot stall + replica lag) and write a JSON report")
+		readPush   = flag.Int("read-pushes", 0, "measured pushes per worker for -readbench (0 = default 256)")
 		microOut   = flag.String("json", "", "report path (default BENCH_PR2.json for -microbench, BENCH_PR4.json for -pipebench, BENCH_PR7.json for -serverbench, BENCH_PR6.json for -ckptbench, BENCH_PR8.json for -wirebench)")
 		benchtime  = flag.String("benchtime", "", "per-benchmark time or count for -microbench (e.g. 1s, 100x)")
 		pipeSteps  = flag.Int("pipe-steps", 0, "measured steps per pipelined run (0 = default 240)")
@@ -149,6 +152,17 @@ func main() {
 		}
 		return
 	}
+	if *readb {
+		path := *microOut
+		if path == "" {
+			path = "BENCH_PR10.json"
+		}
+		if err := runRead(path, *readPush); err != nil {
+			fmt.Fprintf(os.Stderr, "dgs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -238,6 +252,9 @@ func runServer(path string, pushesPerWorker int) error {
 			r.BaselinePushesPerSec, r.BaselineP99Micros,
 			r.Speedup, 100*r.ScanSkipRatio)
 	}
+	fmt.Printf("snapshot stall (2 scrapers): full-lock %9.0f pushes/sec (p99 %7.0f µs) vs copy-on-version %9.0f (p99 %7.0f µs) = %5.2fx\n",
+		rep.SnapStallLockedPushesPerSec, rep.SnapStallLockedP99Micros,
+		rep.SnapStallCopyPushesPerSec, rep.SnapStallCopyP99Micros, rep.SnapStallSpeedup)
 	fmt.Printf("gated: embed 8-worker %.2fx, secondary 8-worker %.2fx, cnn skip ratio %.3f\n",
 		rep.SpeedupAt8, rep.SecondarySpeedupAt8, rep.CNNScanSkipRatio)
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -278,6 +295,35 @@ func runAgg(path string, pushesPerWorker int) error {
 		return err
 	}
 	fmt.Printf("[agg report written to %s]\n", path)
+	return nil
+}
+
+// runRead runs the read-path benchmark (snapshot stall under concurrent
+// scrapers, replica lag and drain exactness) and writes the JSON report.
+func runRead(path string, pushesPerWorker int) error {
+	rep, err := bench.RunRead(pushesPerWorker)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d workers, %d pushes each, %d scrapers\n", rep.Workers, rep.PushesPerWorker, rep.Scrapers)
+	fmt.Printf("no scraper:      %9.0f pushes/sec\n", rep.NoScrapePushesPerSec)
+	fmt.Printf("full-lock scrape:%9.0f pushes/sec (p99 %7.0f µs, %6.1f scrapes/sec)\n",
+		rep.LockedPushesPerSec, rep.LockedP99Micros, rep.LockedScrapesPerSec)
+	fmt.Printf("copy-on-version: %9.0f pushes/sec (p99 %7.0f µs, %6.1f scrapes/sec)\n",
+		rep.CopyPushesPerSec, rep.CopyP99Micros, rep.CopyScrapesPerSec)
+	fmt.Printf("replica (%s): %d polls, %d coords, %d rebase(s), worst poll gap %.1f ms, drain %.1f ms exact=%v\n",
+		rep.ReplicaCodec, rep.ReplicaPolls, rep.ReplicaAppliedCoords, rep.ReplicaRebases,
+		rep.MaxPollGapMillis, rep.DrainMillis, rep.DrainExact)
+	fmt.Printf("gated: scraped push throughput %.2fx vs full-lock\n", rep.ScrapeSpeedup)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[read report written to %s]\n", path)
 	return nil
 }
 

@@ -341,6 +341,62 @@ func loadCkpt(path string) (*bench.CkptReport, error) {
 	return &rep, nil
 }
 
+// diffRead gates the read-path report. The scrape speedup is a within-run
+// ratio (the same pushers and scrapers run against both snapshot paths in
+// one process), so the floor is absolute and portable. The replica gates
+// are correctness-shaped: the post-load drain must land bitwise on the
+// upstream M (including the lossy-codec re-base), and the worst poll gap
+// under load must stay under an absolute ceiling — loopback TCP, so the
+// ceiling is generous and a breach means the subscription loop starved.
+func diffRead(baseline, current *bench.ReadReport, minScrape, maxGapMillis float64) []string {
+	var problems []string
+	check := func(rep *bench.ReadReport, name string) {
+		if rep.ScrapeSpeedup < minScrape {
+			problems = append(problems, fmt.Sprintf(
+				"%s: push throughput under scrape load %.2fx of the full-lock path, below floor %.2fx",
+				name, rep.ScrapeSpeedup, minScrape))
+		}
+		if rep.LockedPushesPerSec <= 0 || rep.CopyPushesPerSec <= 0 {
+			problems = append(problems, fmt.Sprintf(
+				"%s: non-positive scraped throughput (locked %.1f, copy-on-version %.1f pushes/sec)",
+				name, rep.LockedPushesPerSec, rep.CopyPushesPerSec))
+		}
+		if rep.CopyScrapesPerSec <= 0 {
+			problems = append(problems, fmt.Sprintf(
+				"%s: copy-on-version scraper never completed a snapshot", name))
+		}
+		if !rep.DrainExact {
+			problems = append(problems, fmt.Sprintf(
+				"%s: replica drain did not converge bitwise to the upstream M (codec %s)",
+				name, rep.ReplicaCodec))
+		}
+		if rep.MaxPollGapMillis > maxGapMillis {
+			problems = append(problems, fmt.Sprintf(
+				"%s: replica poll gap peaked at %.0f ms under load, ceiling %.0f ms",
+				name, rep.MaxPollGapMillis, maxGapMillis))
+		}
+		if rep.ReplicaAppliedCoords == 0 {
+			problems = append(problems, fmt.Sprintf(
+				"%s: replica applied no coordinates — the subscription never fed the mirror", name))
+		}
+	}
+	check(baseline, "baseline")
+	check(current, "current")
+	return problems
+}
+
+func loadRead(path string) (*bench.ReadReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.ReadReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
 func loadServer(path string) (*bench.ServerReport, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -405,6 +461,9 @@ func main() {
 		maxWireRatio = flag.Float64("max-wire-ratio", 0.5, "quantized embed bytes/step ceiling relative to codec 0 (with -wire)")
 		aggTier      = flag.Bool("agg", false, "diff aggregation-tier reports (dgs-bench -aggbench) instead of microbench reports")
 		minAgg       = flag.Float64("min-agg-speedup", 3.0, "tiered 4-agg pushes/sec floor vs the direct topology (with -agg)")
+		readPath     = flag.Bool("read", false, "diff read-path reports (dgs-bench -readbench) instead of microbench reports")
+		minScrape    = flag.Float64("min-scrape-speedup", 2.0, "push throughput under scrape load floor vs the full-lock snapshot path (with -read)")
+		maxPollGap   = flag.Float64("max-poll-gap-millis", 1000, "replica worst poll gap ceiling under load, milliseconds (with -read)")
 		ckpt         = flag.Bool("checkpoint", false, "diff checkpoint reports (dgs-bench -ckptbench) instead of microbench reports")
 		minIncr      = flag.Float64("min-incremental-speedup", 2.0, "incremental-vs-full capture floor (with -checkpoint)")
 		minSkip      = flag.Float64("min-skip-ratio", 0.5, "steady-state dirty-block skip floor (with -checkpoint)")
@@ -451,6 +510,22 @@ func main() {
 		}
 		fmt.Printf("dgs-benchdiff: OK (tiered 4-agg %.2fx vs direct, floor %.2fx; %.0f%% downward frames shared)\n",
 			current.SpeedupAt4, *minAgg, 100*shared)
+		return
+	}
+	if *readPath {
+		baseline, err := loadRead(*baselinePath)
+		fatalIf(err)
+		current, err := loadRead(*currentPath)
+		fatalIf(err)
+		problems := diffRead(baseline, current, *minScrape, *maxPollGap)
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "dgs-benchdiff: FAIL:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("dgs-benchdiff: OK (scraped pushes %.2fx vs full-lock, floor %.2fx; replica drain exact over %s, worst poll gap %.0f ms, ceiling %.0f ms)\n",
+			current.ScrapeSpeedup, *minScrape, current.ReplicaCodec, current.MaxPollGapMillis, *maxPollGap)
 		return
 	}
 	if *ckpt {

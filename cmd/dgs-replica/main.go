@@ -1,0 +1,129 @@
+// Command dgs-replica runs one read replica of the read-path scale-out tier
+// (DESIGN.md §16): it subscribes to a dgs-server (or dgs-agg) endpoint as a
+// read-session pseudo-worker, feeds a local model mirror from the downward
+// diff stream, and serves the mirrored model over HTTP at arbitrary
+// fan-out — evaluation, scraping and model export traffic move here instead
+// of contending with trainers on the parameter server's read path. Any
+// number of replicas may attach; each needs its own worker id (an ordinary
+// worker slot upstream, disjoint from the trainers').
+//
+// Example:
+//
+//	dgs-server  -addr 127.0.0.1:7000 -workers 4
+//	dgs-worker  -addr 127.0.0.1:7000 -id 0 -workers 2 ...
+//	dgs-worker  -addr 127.0.0.1:7000 -id 1 -workers 2 ...
+//	dgs-replica -upstream 127.0.0.1:7000 -worker 2 -http 127.0.0.1:7080
+//	curl -s 127.0.0.1:7080/model > model.bin   # "DGSM" dump, see internal/replica
+//	curl -s 127.0.0.1:7080/replicaz            # subscription state as JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dgs/internal/nn"
+	_ "dgs/internal/quant" // registers the ternary codec
+	"dgs/internal/replica"
+	"dgs/internal/telemetry"
+	"dgs/internal/tensor"
+)
+
+func main() {
+	var (
+		upstream = flag.String("upstream", "127.0.0.1:7000", "upstream dgs-server or dgs-agg address")
+		worker   = flag.Int("worker", 0, "this replica's worker id at the upstream server")
+		httpAddr = flag.String("http", "127.0.0.1:7080", "HTTP listen address for /model, /replicaz, /healthz")
+		classes  = flag.Int("classes", 10, "model output classes (must match the upstream)")
+		inC      = flag.Int("inc", 3, "input channels")
+		inHW     = flag.Int("hw", 16, "input spatial size")
+
+		codec     = flag.String("codec", "raw", "downward wire codec for steady-state polls (raw|ternary|sbc)")
+		poll      = flag.Duration("poll", 50*time.Millisecond, "subscription poll interval (read staleness bound)")
+		syncEvery = flag.Int("sync-every", 8, "every Nth poll is a raw exact probe (1 pins every poll raw)")
+
+		retries    = flag.Int("retries", 8, "upstream redial retries per exchange")
+		backoff    = flag.Duration("backoff", 50*time.Millisecond, "base upstream retry backoff")
+		maxBackoff = flag.Duration("max-backoff", 2*time.Second, "cap on the upstream retry backoff")
+		timeout    = flag.Duration("timeout", 30*time.Second, "upstream per-exchange deadline (0 disables)")
+		blockSize  = flag.Int("block-size", 0, "mirror dirty-tracking block size in elements (power of two; 0 = auto)")
+
+		statEvery = flag.Duration("stats", 10*time.Second, "stats print interval")
+		metrics   = flag.String("metrics", "", "telemetry HTTP address for /metrics and /debug/pprof (empty disables)")
+	)
+	flag.Parse()
+
+	if *metrics != "" {
+		msrv, err := telemetry.ListenAndServe(*metrics, nil)
+		fatalIf(err, "telemetry")
+		defer msrv.Close()
+		fmt.Printf("dgs-replica: telemetry on %s/metrics\n", msrv.URL())
+	}
+
+	model := nn.NewResNetS(tensor.NewRNG(1), nn.ResNetSConfig{
+		InC: *inC, H: *inHW, W: *inHW,
+		StageChannels: []int{8, 16, 32}, Blocks: 1, Classes: *classes,
+	})
+	shift := uint(0)
+	if *blockSize > 0 {
+		if *blockSize&(*blockSize-1) != 0 {
+			fmt.Fprintf(os.Stderr, "dgs-replica: -block-size %d is not a power of two\n", *blockSize)
+			os.Exit(2)
+		}
+		for 1<<shift < *blockSize {
+			shift++
+		}
+	}
+
+	r, err := replica.New(replica.Config{
+		LayerSizes:   model.LayerSizes(),
+		Worker:       *worker,
+		Dial:         replica.DialStack(*upstream, *timeout, *retries, *backoff, *maxBackoff),
+		Codec:        *codec,
+		PollInterval: *poll,
+		SyncEvery:    *syncEvery,
+		BlockShift:   shift,
+	})
+	fatalIf(err, "config")
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	fatalIf(err, "http listen")
+	hsrv := &http.Server{Handler: r.Handler()}
+	go hsrv.Serve(ln)
+	fmt.Printf("dgs-replica: %s ← %s (worker %d, codec %s, poll %s)\n",
+		ln.Addr(), *upstream, *worker, *codec, *poll)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(*statEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			st := r.Stats()
+			fmt.Printf("dgs-replica: gen=%d stamp=%d polls=%d (empty=%d) coords=%d resyncs=%d reads=%d stale=%s\n",
+				st.Generation, st.Stamp, st.Polls, st.EmptyPolls, st.AppliedCoords,
+				st.Resyncs, st.Reads, st.Staleness.Round(time.Millisecond))
+			if err := r.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "dgs-replica: subscription parked: %v\n", err)
+			}
+		case s := <-sig:
+			fmt.Printf("dgs-replica: %v — shutting down\n", s)
+			hsrv.Close()
+			r.Close()
+			return
+		}
+	}
+}
+
+func fatalIf(err error, what string) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dgs-replica: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+}

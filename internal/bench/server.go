@@ -79,6 +79,19 @@ type ServerReport struct {
 	// auto block-shift resolves the mixed geometry finely enough that the
 	// diff proves most blocks untouched.
 	CNNScanSkipRatio float64 `json:"cnn_scan_skip_ratio"`
+
+	// Snapshot-stall columns: the embed 8-worker workload measured with
+	// concurrent full-model scrapers, once against the frozen full-lock
+	// snapshot path (MSnapshotLocked — every cut parks the apply path for
+	// an O(model) copy) and once against the copy-on-version engine
+	// (MSnapshot). The ratio is gated in the read-path report
+	// (BENCH_PR10.json, dgs-benchdiff -read); here it is tracked for
+	// visibility alongside the other server columns.
+	SnapStallLockedPushesPerSec float64 `json:"snap_stall_locked_pushes_per_sec"`
+	SnapStallLockedP99Micros    float64 `json:"snap_stall_locked_p99_push_micros"`
+	SnapStallCopyPushesPerSec   float64 `json:"snap_stall_copy_pushes_per_sec"`
+	SnapStallCopyP99Micros      float64 `json:"snap_stall_copy_p99_push_micros"`
+	SnapStallSpeedup            float64 `json:"snap_stall_speedup"`
 }
 
 // Embed workload geometry: four embedding tables, row-clustered sparse
@@ -335,6 +348,22 @@ func RunServer(pushesPerWorker int) (*ServerReport, error) {
 	ptCNN := measurePoint("cnn", cnnSizes, updCNN, 8, 1, pushesPerWorker, 0)
 	rep.Results = append(rep.Results, ptCNN)
 	rep.CNNScanSkipRatio = ptCNN.ScanSkipRatio
+
+	// Snapshot stall: the embed 8-worker saturation rerun with concurrent
+	// full-model scrapers, lock path vs copy-on-version (see read.go).
+	cfg := ps.Config{LayerSizes: embedSizes, Workers: 8, Quiet: true}
+	updStall := embedUpdates(rng, 8, variants)
+	srvLocked := ps.NewServer(cfg)
+	rep.SnapStallLockedPushesPerSec, rep.SnapStallLockedP99Micros, _ =
+		runScraped(srvLocked, updStall, 8, pushesPerWorker, readScrapers, embedSizes,
+			func(dst [][]float32) { srvLocked.MSnapshotLocked(dst) })
+	srvCopy := ps.NewServer(cfg)
+	rep.SnapStallCopyPushesPerSec, rep.SnapStallCopyP99Micros, _ =
+		runScraped(srvCopy, updStall, 8, pushesPerWorker, readScrapers, embedSizes,
+			func(dst [][]float32) { srvCopy.MSnapshot(dst) })
+	if rep.SnapStallLockedPushesPerSec > 0 {
+		rep.SnapStallSpeedup = rep.SnapStallCopyPushesPerSec / rep.SnapStallLockedPushesPerSec
+	}
 
 	return rep, nil
 }

@@ -184,13 +184,17 @@ func (s *BaselineServer) Stats() Stats {
 	return s.stats
 }
 
-// MSnapshot copies the current update accumulation M into dst.
-func (s *BaselineServer) MSnapshot(dst [][]float32) {
+// MSnapshot copies the current update accumulation M into dst and returns
+// the timestamp of the copied state (signature kept in lockstep with
+// Server.MSnapshot so equivalence drills can hold both behind one
+// interface; the full-lock copy itself stays frozen).
+func (s *BaselineServer) MSnapshot(dst [][]float32) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := range s.m {
 		copy(dst[i], s.m[i])
 	}
+	return s.t
 }
 
 // VSnapshot copies worker k's sent-accumulation v_k into dst.

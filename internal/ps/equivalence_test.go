@@ -14,7 +14,7 @@ type pusherUnderTest interface {
 	Push(worker int, g *sparse.Update) (sparse.Update, uint64)
 	Resync(worker int)
 	Stats() Stats
-	MSnapshot(dst [][]float32)
+	MSnapshot(dst [][]float32) uint64
 	VSnapshot(worker int, dst [][]float32)
 }
 
@@ -73,10 +73,13 @@ func requireSameState(t *testing.T, label string, sizes []int, got, want pusherU
 		}
 	}
 	gs, ws := got.Stats(), want.Stats()
-	// The baseline has no diff tracking and no candidate-narrowed secondary
-	// path; those counters are expected to diverge.
+	// The baseline has no diff tracking, no candidate-narrowed secondary
+	// path, and no copy-on-version snapshot engine; those counters are
+	// expected to diverge.
 	gs.DiffBlocksScanned, gs.DiffBlocksSkipped = 0, 0
 	gs.SecondaryCandidates, gs.SecondaryRounds = 0, 0
+	gs.SnapshotRefreshes, gs.SnapshotBlocksCopied = 0, 0
+	gs.SnapshotBlocksSkipped, gs.SnapshotReads = 0, 0
 	if gs != ws {
 		t.Fatalf("%s: stats %+v, baseline %+v", label, gs, ws)
 	}

@@ -24,6 +24,10 @@ type metrics struct {
 	blocksSkipped *telemetry.Counter
 	secCand       *telemetry.Counter
 	secRounds     *telemetry.Counter
+	snapRefreshes *telemetry.Counter
+	snapCopied    *telemetry.Counter
+	snapSkipped   *telemetry.Counter
+	snapReads     *telemetry.Counter
 	staleness     []*telemetry.Histogram // per worker
 	modelSize     float64
 }
@@ -83,6 +87,14 @@ func newMetrics(layerSizes []int, workers int) *metrics {
 			"Coordinates entering the secondary Top-k candidate list (full scan would be pushes x model size)."),
 		secRounds: reg.Counter("dgs_ps_secondary_rounds_total",
 			"Threshold-promotion rounds run by the secondary gather (near one per push means the carried threshold held)."),
+		snapRefreshes: reg.Counter("dgs_ps_snapshot_refreshes_total",
+			"Copy-on-version shadow refreshes (model read lock held O(dirty blocks) each)."),
+		snapCopied: reg.Counter("dgs_ps_snapshot_blocks_copied_total",
+			"Blocks a shadow refresh copied because their version advanced since the previous cut."),
+		snapSkipped: reg.Counter("dgs_ps_snapshot_blocks_skipped_total",
+			"Blocks a shadow refresh proved unchanged and skipped."),
+		snapReads: reg.Counter("dgs_ps_snapshot_reads_total",
+			"Snapshot cuts served from the shadow without touching the model lock."),
 		staleness: make([]*telemetry.Histogram, workers),
 	}
 	rate := &pushRate{src: m.pushes.Value}
@@ -116,6 +128,24 @@ func (m *metrics) observePush(worker int, stale, upNNZ, downNNZ uint64, lockWait
 	if m.modelSize > 0 {
 		m.density.Set(float64(downNNZ) / m.modelSize)
 	}
+}
+
+// observeSnapRefresh records one copy-on-version shadow refresh.
+func (m *metrics) observeSnapRefresh(copied, skipped uint64) {
+	if m == nil {
+		return
+	}
+	m.snapRefreshes.Inc()
+	m.snapCopied.Add(copied)
+	m.snapSkipped.Add(skipped)
+}
+
+// observeSnapRead records one snapshot cut served from the shadow.
+func (m *metrics) observeSnapRead() {
+	if m == nil {
+		return
+	}
+	m.snapReads.Inc()
 }
 
 // observeResync records one worker state reset.

@@ -105,6 +105,15 @@ type Stats struct {
 	// Rounds/Pushes near 1 means the carried threshold almost always holds.
 	SecondaryCandidates uint64
 	SecondaryRounds     uint64
+	// SnapshotRefreshes / SnapshotBlocksCopied / SnapshotBlocksSkipped count
+	// copy-on-version shadow refreshes and their per-block outcomes;
+	// SnapshotReads counts cuts served from the shadow (snapshot.go). The
+	// copied/skipped ratio is the fraction of full-model copy work the
+	// version tracking eliminated on the read path.
+	SnapshotRefreshes     uint64
+	SnapshotBlocksCopied  uint64
+	SnapshotBlocksSkipped uint64
+	SnapshotReads         uint64
 }
 
 // Pusher is the server-side exchange interface shared by Server and
@@ -231,6 +240,16 @@ type Server struct {
 	workers []workerState
 
 	denseIdx []int32 // 0..maxLayer-1, shared read-only by all dense gathers
+
+	// Copy-on-version snapshot shadow (snapshot.go), allocated on first
+	// snapshot read. The pointer is atomic so the lock-free SnapshotT
+	// staleness probe never races the lazy allocation.
+	snapOnce      sync.Once
+	snap          atomic.Pointer[snapState]
+	snapRefreshes atomic.Uint64
+	snapCopied    atomic.Uint64
+	snapSkipped   atomic.Uint64
+	snapReads     atomic.Uint64
 
 	met *metrics // nil when cfg.Quiet
 }
@@ -563,35 +582,50 @@ func (s *Server) Timestamp() uint64 { return s.t.Load() }
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Pushes:              s.pushes.Load(),
-		StalenessSum:        s.stalenessSum.Load(),
-		MaxStaleness:        s.maxStaleness.Load(),
-		Resyncs:             s.resyncs.Load(),
-		DiffBlocksScanned:   s.blocksScanned.Load(),
-		DiffBlocksSkipped:   s.blocksSkipped.Load(),
-		SecondaryCandidates: s.secCand.Load(),
-		SecondaryRounds:     s.secRounds.Load(),
-	}
-}
-
-// MSnapshot copies the current update accumulation M (θ_t − θ_0) into dst.
-func (s *Server) MSnapshot(dst [][]float32) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for i := range s.m {
-		copy(dst[i], s.m[i])
+		Pushes:                s.pushes.Load(),
+		StalenessSum:          s.stalenessSum.Load(),
+		MaxStaleness:          s.maxStaleness.Load(),
+		Resyncs:               s.resyncs.Load(),
+		DiffBlocksScanned:     s.blocksScanned.Load(),
+		DiffBlocksSkipped:     s.blocksSkipped.Load(),
+		SecondaryCandidates:   s.secCand.Load(),
+		SecondaryRounds:       s.secRounds.Load(),
+		SnapshotRefreshes:     s.snapRefreshes.Load(),
+		SnapshotBlocksCopied:  s.snapCopied.Load(),
+		SnapshotBlocksSkipped: s.snapSkipped.Load(),
+		SnapshotReads:         s.snapReads.Load(),
 	}
 }
 
 // VSnapshot copies worker k's sent-accumulation v_k into dst (for tests and
-// invariant checks).
+// invariant checks). See VSnapshotT for the consistency cut it takes.
 func (s *Server) VSnapshot(worker int, dst [][]float32) {
+	s.VSnapshotT(worker, dst)
+}
+
+// VSnapshotT copies worker k's v_k into dst at a stamped consistency cut and
+// returns the server clock the copy is consistent against. It takes the same
+// per-worker quiesce Capture does — the worker lock, then the model read
+// lock (w→s, Push's order) — so the copy can never observe a mid-gather v_k
+// and the clock cannot advance while the copy runs: the returned t is the
+// exact timestamp of the state the caller received, which is what lets drain
+// assertions pin "v_k at clock t" instead of "v_k at some point near t".
+// (The vver stamps gatherDown maintains are what make this cut meaningful:
+// every v-block is stamped with the clock of the exchange that wrote it, so
+// a block stamped ≤ t is final at the returned cut.)
+func (s *Server) VSnapshotT(worker int, dst [][]float32) uint64 {
+	if worker < 0 || worker >= s.cfg.Workers {
+		panic(fmt.Sprintf("ps: worker %d out of range [0,%d)", worker, s.cfg.Workers))
+	}
 	w := &s.workers[worker]
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for i := range w.v {
 		copy(dst[i], w.v[i])
 	}
+	return s.t.Load()
 }
 
 // StateBytes reports server memory: M plus one v_k per worker — the paper's

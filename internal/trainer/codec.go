@@ -52,6 +52,15 @@ type codecHandler struct {
 	folder ps.DownFolder // nil when the server cannot fold quantization error
 	forced sparse.Codec  // nil under the mirror policy
 
+	// reader reports whether a worker's current session declared the
+	// read-session role (transport flagReader). A reader's empty pushes are
+	// its steady-state diff subscription, not drain probes, so they are
+	// answered in the requested codec instead of being forced raw; readers
+	// obtain exact frames on demand by framing the poll raw. nil means the
+	// role is unknown (sessionless wiring) and every empty push keeps the
+	// drain rule.
+	reader func(worker int) bool
+
 	mu      sync.Mutex
 	workers map[int]*downQuantState
 }
@@ -108,6 +117,14 @@ func (h *codecHandler) encodeDown(worker int, reqID byte, drain bool, G *sparse.
 // registry). Upward frames of any registered codec are accepted regardless
 // of policy.
 func HandlerWithCodec(server ps.Pusher, policy string) (transport.Handler, error) {
+	h, err := newCodecHandler(server, policy)
+	if err != nil {
+		return nil, err
+	}
+	return h.handler(server), nil
+}
+
+func newCodecHandler(server ps.Pusher, policy string) (*codecHandler, error) {
 	h := &codecHandler{workers: map[int]*downQuantState{}}
 	h.folder, _ = server.(ps.DownFolder)
 	switch policy {
@@ -125,6 +142,10 @@ func HandlerWithCodec(server ps.Pusher, policy string) (transport.Handler, error
 		// and answers raw), which is what "-codec raw" promises operators.
 		h.forced = c
 	}
+	return h, nil
+}
+
+func (h *codecHandler) handler(server ps.Pusher) transport.Handler {
 	hm := newHandlerMetrics(server.LayerSizes())
 	return func(worker int, payload []byte) ([]byte, error) {
 		g := updPool.Get().(*sparse.Update)
@@ -138,24 +159,35 @@ func HandlerWithCodec(server ps.Pusher, policy string) (transport.Handler, error
 			reqID, _ = sparse.FrameCodecID(payload)
 		}
 		drain := g.NNZ() == 0
+		if drain && h.reader != nil && h.reader(worker) {
+			// Read-session poll: the empty push is the reader's subscription
+			// heartbeat, not a drain probe — honour the requested codec so
+			// replicas ride the compressed downward path. The FoldDown below
+			// keeps v_k tracking what the replica actually applied, so the
+			// reader's mirror stays bitwise equal to v_k even lossily.
+			drain = false
+		}
 		G, _ := server.Push(worker, g)
 		resp := h.encodeDown(worker, reqID, drain, &G)
 		hm.observe(len(payload), len(resp))
 		return resp, nil
-	}, nil
+	}
 }
 
 // ExactlyOnceHandlerWithCodec wraps HandlerWithCodec in the session
-// middleware (see ExactlyOnceHandler).
+// middleware (see ExactlyOnceHandler). The session layer also supplies the
+// read-session role lookup, so reader polls keep their negotiated codec.
 func ExactlyOnceHandlerWithCodec(server ps.Pusher, policy string) (*transport.ExactlyOnce, error) {
-	handler, err := HandlerWithCodec(server, policy)
+	h, err := newCodecHandler(server, policy)
 	if err != nil {
 		return nil, err
 	}
-	return transport.NewExactlyOnce(handler, func(worker int) error {
+	eo := transport.NewExactlyOnce(h.handler(server), func(worker int) error {
 		server.Resync(worker)
 		return nil
-	}), nil
+	})
+	h.reader = eo.ReaderSession
+	return eo, nil
 }
 
 // upCodec bundles the worker-side codec state: the resolved quantizer (nil

@@ -13,13 +13,14 @@ var tmet = struct {
 	retries         *telemetry.Counter
 	dials           *telemetry.Counter
 
-	sessExchanges   *telemetry.Counter
-	sessReplays     *telemetry.Counter
-	sessHellos      *telemetry.Counter
-	sessStale       *telemetry.Counter
-	sessBadSeq      *telemetry.Counter
-	sessPassthrough *telemetry.Counter
-	sessResets      *telemetry.Counter
+	sessExchanges    *telemetry.Counter
+	sessReplays      *telemetry.Counter
+	sessHellos       *telemetry.Counter
+	sessReaderHellos *telemetry.Counter
+	sessStale        *telemetry.Counter
+	sessBadSeq       *telemetry.Counter
+	sessPassthrough  *telemetry.Counter
+	sessResets       *telemetry.Counter
 
 	faultDropBefore *telemetry.Counter
 	faultDropAfter  *telemetry.Counter
@@ -54,6 +55,8 @@ func init() {
 		"Retried frames answered from the replay cache without re-execution.")
 	tmet.sessHellos = reg.Counter("dgs_session_hellos_total",
 		"New worker incarnations adopted (resyncs triggered).")
+	tmet.sessReaderHellos = reg.Counter("dgs_session_reader_hellos_total",
+		"Adopted incarnations that declared the read-session role (diff-fed replicas, evaluators).")
 	tmet.sessStale = reg.Counter("dgs_session_stale_rejected_total",
 		"Frames fenced off for carrying a superseded session.")
 	tmet.sessBadSeq = reg.Counter("dgs_session_badseq_total",

@@ -64,6 +64,15 @@ const (
 
 const (
 	flagHello = 0x01
+	// flagReader marks a read-session: the client subscribes to downward
+	// diffs (a replica or evaluator feeding a model mirror) and never
+	// contributes gradient mass of its own. The server's exchange semantics
+	// are identical — a reader is a worker whose pushes are empty — but the
+	// role is declared in the envelope so operators can tell replica slots
+	// from trainer slots in /metrics and logs, and so future policy (slot
+	// quotas, read-only fencing) has a protocol hook. Evaluated when a hello
+	// is adopted; clients set it on every frame of the session.
+	flagReader = 0x02
 )
 
 // Session-level response statuses. statusOK/statusError are shared with the
@@ -176,6 +185,10 @@ type SessionClient struct {
 	// SessionID identifies this incarnation. NewSessionClient draws a
 	// random one; tests may set it explicitly (must be nonzero).
 	SessionID uint64
+	// Reader declares the read-session role (flagReader) on every frame:
+	// this client is a diff subscriber (replica/evaluator), not a trainer.
+	// Set before the first Exchange.
+	Reader bool
 
 	mu          sync.Mutex
 	seq         uint64
@@ -222,6 +235,9 @@ func (c *SessionClient) Exchange(worker int, payload []byte) ([]byte, error) {
 	flags := byte(0)
 	if !c.established {
 		flags = flagHello
+	}
+	if c.Reader {
+		flags |= flagReader
 	}
 	env := encodeSessionReq(flags, c.SessionID, c.seq, payload)
 	c.mu.Unlock()
@@ -282,6 +298,9 @@ type SessionStats struct {
 	Replays uint64
 	// Hellos counts new incarnations adopted (== resyncs triggered).
 	Hellos uint64
+	// ReaderHellos counts adopted incarnations that declared the
+	// read-session role (replica/evaluator diff subscribers).
+	ReaderHellos uint64
 	// StaleRejected counts frames rejected for carrying a superseded
 	// session.
 	StaleRejected uint64
@@ -314,6 +333,11 @@ type workerSession struct {
 	mu      sync.Mutex
 	session uint64 // current incarnation's session id (0 = none yet)
 	epoch   uint64 // incarnation counter, bumped on every adopted hello
+	// reader records whether the current incarnation declared the
+	// read-session role. Atomic (not under mu) because the codec layer
+	// queries it from inside the handler, which Handle invokes while
+	// holding mu.
+	reader  atomic.Bool
 	lastSeq uint64 // highest executed sequence number
 	// window is a ring of the last executed exchanges' responses, indexed
 	// by seq % len(window) (the replay cache).
@@ -405,6 +429,19 @@ func (e *ExactlyOnce) Reset() {
 	tmet.sessResets.Inc()
 }
 
+// ReaderSession reports whether worker's current session incarnation
+// declared the read-session role. Safe to call from inside the wrapped
+// handler (the codec layer does, to tell reader polls from drain probes).
+func (e *ExactlyOnce) ReaderSession(worker int) bool {
+	e.mu.Lock()
+	ws := e.workers[worker]
+	e.mu.Unlock()
+	if ws == nil {
+		return false
+	}
+	return ws.reader.Load()
+}
+
 // Stats snapshots the middleware counters.
 func (e *ExactlyOnce) Stats() SessionStats {
 	e.mu.Lock()
@@ -472,6 +509,7 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 		}
 		ws.session = session
 		ws.epoch++
+		ws.reader.Store(flags&flagReader != 0)
 		// Baseline the replay window on the hello's own sequence number:
 		// frames the server never saw (lost before delivery) must not block
 		// the incarnation from joining.
@@ -479,6 +517,10 @@ func (e *ExactlyOnce) Handle(worker int, payload []byte) ([]byte, error) {
 		clear(ws.window)
 		e.count(func(s *SessionStats) { s.Hellos++ })
 		tmet.sessHellos.Inc()
+		if ws.reader.Load() {
+			e.count(func(s *SessionStats) { s.ReaderHellos++ })
+			tmet.sessReaderHellos.Inc()
+		}
 	}
 
 	switch {
